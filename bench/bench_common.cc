@@ -1,0 +1,100 @@
+#include "bench_common.h"
+
+#include <cstdio>
+
+#include "core/detector.h"
+#include "eval/metrics.h"
+#include "util/env.h"
+
+namespace egi::bench {
+
+BenchSettings SettingsFromEnv() {
+  BenchSettings s;
+  s.quick = GetEnvBool("EGI_BENCH_QUICK", false);
+  s.series_per_dataset = static_cast<int>(
+      GetEnvInt("EGI_SERIES_PER_DATASET", s.quick ? 8 : 25));
+  s.data_seed = static_cast<uint64_t>(GetEnvInt("EGI_DATA_SEED", 2020));
+  s.methods.ensemble_size =
+      static_cast<int>(GetEnvInt("EGI_ENSEMBLE_SIZE", 50));
+  s.methods.discord_threads =
+      static_cast<int>(GetEnvInt("EGI_DISCORD_THREADS", 2));
+  return s;
+}
+
+void PrintPreamble(const std::string& what, const BenchSettings& settings) {
+  std::printf("== %s ==\n", what.c_str());
+  std::printf(
+      "settings: %d series/dataset, data_seed=%llu, N=%d, tau=%.0f%%, "
+      "wmax=%d, amax=%d%s\n",
+      settings.series_per_dataset,
+      static_cast<unsigned long long>(settings.data_seed),
+      settings.methods.ensemble_size, settings.methods.selectivity * 100.0,
+      settings.methods.wmax, settings.methods.amax,
+      settings.quick ? " [QUICK]" : "");
+  std::printf(
+      "datasets are seeded synthetic stand-ins for the UCR families "
+      "(DESIGN.md); compare shapes, not absolute values.\n\n");
+}
+
+std::string DatasetName(datasets::UcrDataset dataset) {
+  return std::string(datasets::GetDatasetSpec(dataset).name);
+}
+
+std::vector<double> EnsembleScoresForRange(datasets::UcrDataset dataset,
+                                           const BenchSettings& settings,
+                                           int wmax, int amax) {
+  const auto series_set = eval::MakeEvaluationSeries(
+      dataset, settings.series_per_dataset, settings.data_seed);
+  const size_t window = datasets::GetDatasetSpec(dataset).instance_length;
+
+  core::EnsembleParams p;
+  p.wmax = wmax;
+  p.amax = amax;
+  p.ensemble_size = settings.methods.ensemble_size;
+  p.selectivity = settings.methods.selectivity;
+  p.seed = settings.methods.seed;
+  core::EnsembleGiDetector detector(p);
+
+  std::vector<double> scores;
+  scores.reserve(series_set.size());
+  for (const auto& s : series_set) {
+    auto r = detector.Detect(s.values, window, 3);
+    EGI_CHECK(r.ok()) << r.status().ToString();
+    scores.push_back(eval::BestScore(*r, s.anomaly));
+  }
+  return scores;
+}
+
+BaselinePick BestGiBaseline(datasets::UcrDataset dataset,
+                            const BenchSettings& settings) {
+  eval::ExperimentConfig cfg;
+  cfg.series_per_dataset = settings.series_per_dataset;
+  cfg.data_seed = settings.data_seed;
+  cfg.method_config = settings.methods;
+
+  const datasets::UcrDataset ds[] = {dataset};
+  const auto result =
+      eval::RunExperiment(ds, eval::kGiBaselines, cfg);
+
+  BaselinePick best;
+  double best_score = -1.0;
+  for (const auto method : eval::kGiBaselines) {
+    const auto& agg = result.Get(dataset, method);
+    if (agg.AverageScore() > best_score) {
+      best_score = agg.AverageScore();
+      best.method = method;
+      best.agg = agg;
+    }
+  }
+  return best;
+}
+
+eval::ExperimentResult RunMainExperiment(const BenchSettings& settings) {
+  eval::ExperimentConfig cfg;
+  cfg.series_per_dataset = settings.series_per_dataset;
+  cfg.data_seed = settings.data_seed;
+  cfg.method_config = settings.methods;
+  return eval::RunExperiment(datasets::kAllDatasets, eval::kAllMethods, cfg);
+}
+
+}  // namespace egi::bench

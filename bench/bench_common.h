@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "eval/experiment.h"
+#include "util/table.h"
+
+namespace egi::bench {
+
+/// Shared configuration for the experiment binaries, read from environment
+/// variables so `ctest`-style batch runs can be resized without rebuilds:
+///   EGI_BENCH_QUICK=1        small smoke-run sweeps
+///   EGI_SERIES_PER_DATASET   series per dataset (default 25, paper value)
+///   EGI_DATA_SEED            series-generation seed (default 2020)
+///   EGI_ENSEMBLE_SIZE        N (default 50)
+///   EGI_DISCORD_THREADS      STOMP threads (default 2)
+struct BenchSettings {
+  int series_per_dataset = 25;
+  uint64_t data_seed = 2020;
+  eval::MethodConfig methods;
+  bool quick = false;
+};
+
+BenchSettings SettingsFromEnv();
+
+/// Prints the standard preamble (what the binary reproduces, settings,
+/// determinism note).
+void PrintPreamble(const std::string& what, const BenchSettings& settings);
+
+std::string DatasetName(datasets::UcrDataset dataset);
+
+/// Per-series best-of-top-3 ensemble Scores on one dataset for an arbitrary
+/// (wmax, amax) range (used by the Table 7/8/9 sweeps).
+std::vector<double> EnsembleScoresForRange(datasets::UcrDataset dataset,
+                                           const BenchSettings& settings,
+                                           int wmax, int amax);
+
+/// The paper's Tables 7-9 baseline: the best of GI-Random / GI-Fix /
+/// GI-Select on this dataset (by average Score).
+struct BaselinePick {
+  eval::Method method;
+  eval::MethodAggregate agg;
+};
+BaselinePick BestGiBaseline(datasets::UcrDataset dataset,
+                            const BenchSettings& settings);
+
+/// Runs the main 5-method experiment of Section 7.1 (Tables 4/5/6, Fig 10).
+eval::ExperimentResult RunMainExperiment(const BenchSettings& settings);
+
+}  // namespace egi::bench

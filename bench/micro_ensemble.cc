@@ -1,0 +1,62 @@
+// Micro-benchmarks for the end-to-end ensemble pipeline (Algorithm 1):
+// throughput vs series length (linearity) and vs ensemble size N.
+
+#include <benchmark/benchmark.h>
+
+#include "core/ensemble.h"
+#include "datasets/physio.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace egi;
+
+void BM_EnsembleDensityByLength(benchmark::State& state) {
+  Rng rng(9);
+  const auto series =
+      datasets::MakeLongEcg(static_cast<size_t>(state.range(0)), rng);
+  core::EnsembleParams p;
+  p.window_length = 250;
+  p.ensemble_size = 50;
+  for (auto _ : state) {
+    auto r = core::ComputeEnsembleDensity(series, p);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(series.size()));
+}
+BENCHMARK(BM_EnsembleDensityByLength)
+    ->Arg(4000)
+    ->Arg(8000)
+    ->Arg(16000)
+    ->Arg(32000);
+
+void BM_EnsembleDensityByN(benchmark::State& state) {
+  Rng rng(9);
+  const auto series = datasets::MakeLongEcg(8000, rng);
+  core::EnsembleParams p;
+  p.window_length = 250;
+  p.ensemble_size = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto r = core::ComputeEnsembleDensity(series, p);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_EnsembleDensityByN)->Arg(5)->Arg(10)->Arg(25)->Arg(50);
+
+void BM_MemberCurvesOnly(benchmark::State& state) {
+  Rng rng(9);
+  const auto series = datasets::MakeLongEcg(8000, rng);
+  core::EnsembleParams p;
+  p.window_length = 250;
+  p.ensemble_size = 50;
+  for (auto _ : state) {
+    auto r = core::ComputeMemberDensityCurves(series, p);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_MemberCurvesOnly);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// Micro-benchmarks for the discord substrate: STOMP's O(1)-per-cell update
+// vs the O(m)-per-cell brute force, and the row-partitioned parallel STOMP.
+
+#include <benchmark/benchmark.h>
+
+#include "datasets/random_walk.h"
+#include "discord/hotsax.h"
+#include "discord/matrix_profile.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace egi;
+
+std::vector<double> BenchSeries(size_t len) {
+  Rng rng(3);
+  return datasets::MakeRandomWalk(len, rng);
+}
+
+void BM_MatrixProfileBrute(benchmark::State& state) {
+  const auto series = BenchSeries(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto mp = discord::ComputeMatrixProfileBrute(series, 64);
+    benchmark::DoNotOptimize(mp);
+  }
+}
+BENCHMARK(BM_MatrixProfileBrute)->Arg(512)->Arg(2048);
+
+void BM_MatrixProfileStomp(benchmark::State& state) {
+  const auto series = BenchSeries(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto mp = discord::ComputeMatrixProfileStomp(series, 64);
+    benchmark::DoNotOptimize(mp);
+  }
+}
+BENCHMARK(BM_MatrixProfileStomp)->Arg(512)->Arg(2048)->Arg(8192);
+
+void BM_MatrixProfileStompParallel(benchmark::State& state) {
+  const auto series = BenchSeries(8192);
+  for (auto _ : state) {
+    auto mp = discord::ComputeMatrixProfileStomp(
+        series, 64, static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(mp);
+  }
+}
+BENCHMARK(BM_MatrixProfileStompParallel)->Arg(1)->Arg(2);
+
+void BM_HotSaxDiscord(benchmark::State& state) {
+  const auto series = BenchSeries(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto d = discord::FindDiscordsHotSax(series, 64, 1);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_HotSaxDiscord)->Arg(512)->Arg(2048);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// Micro-benchmarks for the discretization stack, backing the paper's
+// Section 6.2.3 claim: computing multi-resolution SAX words through the
+// shared prefix-stats + merged-breakpoint summary is far cheaper than
+// running independent single-resolution discretizations per (w, a).
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/ensemble.h"
+#include "datasets/random_walk.h"
+#include "sax/multires_encoder.h"
+#include "sax/sax_encoder.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace egi;
+
+std::vector<double> BenchSeries(size_t len) {
+  Rng rng(7);
+  return datasets::MakeRandomWalk(len, rng);
+}
+
+// Baseline: one independent DiscretizeSeries per (w, a) — recomputes
+// prefix statistics and breakpoint lookups every time (the "straightforward
+// manner" of Section 6.2.3).
+void BM_SaxNaiveMultiParam(benchmark::State& state) {
+  const auto series = BenchSeries(static_cast<size_t>(state.range(0)));
+  const auto pairs = core::DrawParameterSample(10, 10, 50, 3);
+  for (auto _ : state) {
+    for (const auto& p : pairs) {
+      sax::SaxParams sp;
+      sp.window_length = 100;
+      sp.paa_size = p.paa_size;
+      sp.alphabet_size = p.alphabet_size;
+      auto d = sax::DiscretizeSeries(series, sp);
+      benchmark::DoNotOptimize(d);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(series.size()) *
+                          static_cast<int64_t>(pairs.size()));
+}
+BENCHMARK(BM_SaxNaiveMultiParam)->Arg(4000)->Arg(16000);
+
+// Fast path: shared multi-resolution encoder (Section 6.2).
+void BM_SaxMultiResEncoder(benchmark::State& state) {
+  const auto series = BenchSeries(static_cast<size_t>(state.range(0)));
+  const auto pairs = core::DrawParameterSample(10, 10, 50, 3);
+  for (auto _ : state) {
+    sax::MultiResSaxEncoder encoder(series, 100, 10);
+    auto d = encoder.EncodeAll(pairs);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(series.size()) *
+                          static_cast<int64_t>(pairs.size()));
+}
+BENCHMARK(BM_SaxMultiResEncoder)->Arg(4000)->Arg(16000);
+
+// Single-resolution discretization throughput for reference.
+void BM_SaxSingleResolution(benchmark::State& state) {
+  const auto series = BenchSeries(static_cast<size_t>(state.range(0)));
+  sax::SaxParams sp;
+  sp.window_length = 100;
+  sp.paa_size = 4;
+  sp.alphabet_size = 4;
+  for (auto _ : state) {
+    auto d = sax::DiscretizeSeries(series, sp);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(series.size()));
+}
+BENCHMARK(BM_SaxSingleResolution)->Arg(4000)->Arg(64000);
+
+// Breakpoint-summary lookups vs direct per-alphabet binary search.
+void BM_BreakpointSummaryLookup(benchmark::State& state) {
+  sax::BreakpointSummary summary(20);
+  Rng rng(5);
+  std::vector<double> values(1024);
+  for (auto& v : values) v = rng.Gaussian();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(summary.IntervalForValue(values[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_BreakpointSummaryLookup);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Micro-benchmarks for Sequitur grammar induction: the paper's pipeline is
+// linear-time overall, which requires Sequitur to stay amortized O(1) per
+// appended token on both random and highly repetitive inputs.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "grammar/sequitur.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace egi;
+
+std::vector<int32_t> RandomTokens(size_t n, int alphabet, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int32_t> tokens(n);
+  for (auto& t : tokens)
+    t = static_cast<int32_t>(rng.UniformInt(0, alphabet - 1));
+  return tokens;
+}
+
+void BM_SequiturRandomTokens(benchmark::State& state) {
+  const auto tokens =
+      RandomTokens(static_cast<size_t>(state.range(0)), 26, 11);
+  for (auto _ : state) {
+    auto g = grammar::InduceGrammar(tokens);
+    benchmark::DoNotOptimize(g);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(tokens.size()));
+}
+BENCHMARK(BM_SequiturRandomTokens)->Range(1024, 1 << 17);
+
+void BM_SequiturPeriodicTokens(benchmark::State& state) {
+  std::vector<int32_t> tokens(static_cast<size_t>(state.range(0)));
+  for (size_t i = 0; i < tokens.size(); ++i)
+    tokens[i] = static_cast<int32_t>(i % 7);
+  for (auto _ : state) {
+    auto g = grammar::InduceGrammar(tokens);
+    benchmark::DoNotOptimize(g);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(tokens.size()));
+}
+BENCHMARK(BM_SequiturPeriodicTokens)->Range(1024, 1 << 17);
+
+void BM_SequiturSmallAlphabet(benchmark::State& state) {
+  const auto tokens = RandomTokens(static_cast<size_t>(state.range(0)), 3, 13);
+  for (auto _ : state) {
+    auto g = grammar::InduceGrammar(tokens);
+    benchmark::DoNotOptimize(g);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(tokens.size()));
+}
+BENCHMARK(BM_SequiturSmallAlphabet)->Range(1024, 1 << 16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// Reproduces Section 7.5 of the paper: detecting multiple anomalies. Ten
+// StarLightCurve-like series of length 43008 (42 instances), each with two
+// randomly placed anomalous instances; a ground-truth anomaly counts as
+// detected when it overlaps one of the top-3 candidates. The paper found
+// both anomalies in nine of ten series and one anomaly in the remaining one.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/detector.h"
+#include "datasets/planted.h"
+#include "ts/window.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace egi;
+  const auto settings = bench::SettingsFromEnv();
+  bench::PrintPreamble("Section 7.5: detecting multiple anomalies", settings);
+
+  const int num_series = settings.quick ? 4 : 10;
+  int series_with_both = 0, series_with_one = 0, series_with_none = 0;
+
+  for (int i = 0; i < num_series; ++i) {
+    Rng rng(settings.data_seed + static_cast<uint64_t>(i) * 101);
+    const auto s = datasets::MakeMultiPlantedSeries(
+        datasets::UcrDataset::kStarLightCurve, rng, 42, 2);
+
+    core::EnsembleParams p;
+    p.ensemble_size = settings.methods.ensemble_size;
+    p.seed = settings.methods.seed;
+    core::EnsembleGiDetector detector(p);
+    auto r = detector.Detect(s.values, 1024, 3);
+    EGI_CHECK(r.ok()) << r.status().ToString();
+
+    int found = 0;
+    for (const auto& gt : s.anomalies) {
+      for (const auto& c : *r) {
+        if (ts::Overlaps(c.window(), gt)) {
+          ++found;
+          break;
+        }
+      }
+    }
+    std::printf("series %2d: %d of 2 anomalies detected (gt at %zu, %zu)\n",
+                i + 1, found, s.anomalies[0].start, s.anomalies[1].start);
+    if (found == 2) {
+      ++series_with_both;
+    } else if (found == 1) {
+      ++series_with_one;
+    } else {
+      ++series_with_none;
+    }
+  }
+
+  std::printf(
+      "\nsummary: both=%d, one=%d, none=%d out of %d series\n"
+      "(paper: both in 9/10, one in 1/10)\n",
+      series_with_both, series_with_one, series_with_none, num_series);
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Reproduces Table 6 of the paper: wins/ties/losses of ensemble grammar
+// induction against each baseline, per dataset (pairwise per-series Score
+// comparison).
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "eval/metrics.h"
+
+int main() {
+  using namespace egi;
+  const auto settings = bench::SettingsFromEnv();
+  bench::PrintPreamble(
+      "Table 6: wins/ties/losses of the ensemble vs all baselines", settings);
+
+  const auto result = bench::RunMainExperiment(settings);
+
+  const eval::Method baselines[] = {eval::Method::kGiRandom,
+                                    eval::Method::kGiFix,
+                                    eval::Method::kGiSelect,
+                                    eval::Method::kDiscord};
+
+  TextTable table("Table 6: ensemble W/T/L vs baselines");
+  std::vector<std::string> header{"Approach \\ Dataset"};
+  for (const auto d : datasets::kAllDatasets)
+    header.push_back(bench::DatasetName(d));
+  table.SetHeader(std::move(header));
+
+  for (const auto baseline : baselines) {
+    std::vector<std::string> row{std::string(eval::MethodName(baseline))};
+    for (const auto d : datasets::kAllDatasets) {
+      const auto wtl =
+          eval::CompareScores(result.Get(d, eval::Method::kProposed),
+                              result.Get(d, baseline));
+      row.push_back(wtl.ToString());
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+  return 0;
+}

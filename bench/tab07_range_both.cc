@@ -1,0 +1,51 @@
+// Reproduces Table 7 of the paper: wins/ties/losses of the ensemble against
+// the best GI baseline per dataset, for wmax = amax in {5, 10, 15, 20}.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "eval/metrics.h"
+
+int main() {
+  using namespace egi;
+  const auto settings = bench::SettingsFromEnv();
+  bench::PrintPreamble(
+      "Table 7: ensemble W/T/L vs best GI baseline, wmax = amax sweep",
+      settings);
+
+  const int ranges[] = {5, 10, 15, 20};
+
+  TextTable table("Table 7");
+  std::vector<std::string> header{"Approach"};
+  for (const auto d : datasets::kAllDatasets)
+    header.push_back(bench::DatasetName(d));
+  table.SetHeader(std::move(header));
+
+  // The baseline per dataset is fixed across configurations.
+  std::vector<bench::BaselinePick> baselines;
+  for (const auto d : datasets::kAllDatasets)
+    baselines.push_back(bench::BestGiBaseline(d, settings));
+
+  for (const int r : ranges) {
+    std::vector<std::string> row{"amax=" + std::to_string(r) +
+                                 ",wmax=" + std::to_string(r)};
+    for (size_t di = 0; di < datasets::kAllDatasets.size(); ++di) {
+      const auto scores = bench::EnsembleScoresForRange(
+          datasets::kAllDatasets[di], settings, r, r);
+      eval::WinTieLoss wtl;
+      for (size_t i = 0; i < scores.size(); ++i)
+        wtl.Add(scores[i], baselines[di].agg.scores[i]);
+      row.push_back(wtl.ToString());
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+
+  std::printf("\nbest GI baseline per dataset:");
+  for (size_t di = 0; di < datasets::kAllDatasets.size(); ++di) {
+    std::printf(" %s=%s", bench::DatasetName(datasets::kAllDatasets[di]).c_str(),
+                eval::MethodName(baselines[di].method).data());
+  }
+  std::printf("\n");
+  return 0;
+}

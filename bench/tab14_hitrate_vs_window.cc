@@ -1,0 +1,45 @@
+// Reproduces Table 14 of the paper: HitRate of the ensemble when the
+// sliding window length n is shorter than the anomaly length na.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace egi;
+  const auto settings = bench::SettingsFromEnv();
+  bench::PrintPreamble("Table 14: HitRate vs sliding window length n",
+                       settings);
+
+  const std::vector<double> fractions{0.6, 0.7, 0.8, 0.9, 1.0};
+
+  TextTable table("Table 14");
+  std::vector<std::string> header{"Dataset"};
+  for (double f : fractions)
+    header.push_back("n=" + FormatDouble(f, 1) + "na");
+  table.SetHeader(std::move(header));
+
+  std::vector<std::vector<std::string>> rows;
+  for (const auto d : datasets::kAllDatasets)
+    rows.push_back({bench::DatasetName(d)});
+
+  const eval::Method methods[] = {eval::Method::kProposed};
+  for (const double f : fractions) {
+    eval::ExperimentConfig cfg;
+    cfg.series_per_dataset = settings.series_per_dataset;
+    cfg.data_seed = settings.data_seed;
+    cfg.method_config = settings.methods;
+    cfg.window_fraction = f;
+    const auto result =
+        eval::RunExperiment(datasets::kAllDatasets, methods, cfg);
+    for (size_t di = 0; di < datasets::kAllDatasets.size(); ++di) {
+      rows[di].push_back(FormatDouble(
+          result.Get(datasets::kAllDatasets[di], eval::Method::kProposed)
+              .HitRate(),
+          2));
+    }
+  }
+  for (auto& row : rows) table.AddRow(std::move(row));
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,50 @@
+// The paper's Section 7.5 experiment in example form: a long star-light-curve
+// stream containing TWO anomalies of different positions; the detector's
+// top-3 candidates should cover both. This is the scenario where
+// fixed-length discord methods struggle (two anomalies, unknown count).
+//
+// Build & run:  ./build/examples/multiple_anomalies
+
+#include <cstdio>
+
+#include "core/detector.h"
+#include "datasets/planted.h"
+#include "ts/window.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace egi;
+
+  Rng rng(21);
+  const auto stream = datasets::MakeMultiPlantedSeries(
+      datasets::UcrDataset::kStarLightCurve, rng, /*total_instances=*/42,
+      /*num_anomalies=*/2);
+  std::printf("stream: %zu points, %zu planted anomalies\n",
+              stream.values.size(), stream.anomalies.size());
+  for (const auto& a : stream.anomalies) {
+    std::printf("  ground truth at [%zu, %zu)\n", a.start, a.end());
+  }
+
+  core::EnsembleParams params;
+  params.seed = 5;
+  core::EnsembleGiDetector detector(params);
+  auto result = detector.Detect(stream.values, /*window_length=*/1024, 3);
+  if (!result.ok()) {
+    std::printf("detection failed: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  size_t covered = 0;
+  for (const auto& gt : stream.anomalies) {
+    bool found = false;
+    for (const auto& c : *result) {
+      if (ts::Overlaps(c.window(), gt)) found = true;
+    }
+    std::printf("anomaly at %zu: %s\n", gt.start,
+                found ? "detected" : "missed");
+    if (found) ++covered;
+  }
+  std::printf("\n%zu of %zu anomalies appear in the top-3 candidates\n",
+              covered, stream.anomalies.size());
+  return covered == stream.anomalies.size() ? 0 : 1;
+}

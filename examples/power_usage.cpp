@@ -1,0 +1,64 @@
+// The paper's Section 7.4 case study: find unusual power-usage events in a
+// long fridge-freezer stream (simulated REFIT-style data; see DESIGN.md).
+// The stream contains two qualitatively different planted events:
+//   1. a cycle with an unusually long, sagging compressor run,
+//   2. a burst of high-power spikes between otherwise normal cycles.
+//
+// Build & run:  ./build/examples/power_usage
+// Env:          EGI_POWER_LENGTH (default 200000 samples)
+
+#include <cstdio>
+
+#include "core/detector.h"
+#include "datasets/power.h"
+#include "ts/window.h"
+#include "util/env.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+int main() {
+  using namespace egi;
+
+  const auto length =
+      static_cast<size_t>(GetEnvInt("EGI_POWER_LENGTH", 200000));
+  Rng rng(12);
+  const auto stream = datasets::MakeFridgeFreezerSeries(length, rng);
+  std::printf("fridge-freezer stream: %zu samples (~%.0f days at 8s/sample)\n",
+              stream.values.size(),
+              static_cast<double>(stream.values.size()) * 8.0 / 86400.0);
+  for (size_t i = 0; i < stream.anomalies.size(); ++i) {
+    std::printf("  planted event %zu: [%zu, %zu)\n", i + 1,
+                stream.anomalies[i].start, stream.anomalies[i].end());
+  }
+
+  // One duty cycle is ~900 samples; that is the anomaly scale of interest
+  // (the paper uses the same sliding window length for this data).
+  core::EnsembleParams params;
+  params.seed = 42;
+  core::EnsembleGiDetector detector(params);
+
+  Stopwatch sw;
+  auto result =
+      detector.Detect(stream.values, datasets::kFridgeCycleLength, 3);
+  if (!result.ok()) {
+    std::printf("detection failed: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\ndetection took %.2f s (linear-time pipeline)\n",
+              sw.ElapsedSeconds());
+
+  std::printf("\ntop-3 anomaly candidates (the paper's protocol):\n");
+  int rank = 1;
+  for (const auto& candidate : *result) {
+    const char* label = "unmatched";
+    for (size_t i = 0; i < stream.anomalies.size(); ++i) {
+      if (ts::Overlaps(candidate.window(), stream.anomalies[i])) {
+        label = i == 0 ? "the unusual sagging cycle (event 1)"
+                       : "the spikes burst (event 2)";
+      }
+    }
+    std::printf("  #%d at position %zu -> %s\n", rank++, candidate.position,
+                label);
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Quickstart: detect an anomalous heartbeat in a synthetic ECG stream with
+// ensemble grammar induction (the paper's Algorithm 1).
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/detector.h"
+#include "datasets/planted.h"
+#include "eval/metrics.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace egi;
+
+  // 1. Get a time series. Here: 20 normal ECG beats with one anomalous beat
+  //    (a different lead morphology) spliced in somewhere in the middle.
+  Rng rng(/*seed=*/7);
+  const auto data =
+      datasets::MakePlantedSeries(datasets::UcrDataset::kTwoLeadEcg, rng);
+  std::printf("series of %zu points; the planted anomaly lives at [%zu, %zu)\n",
+              data.values.size(), data.anomaly.start, data.anomaly.end());
+
+  // 2. Configure the detector. The defaults are the paper's settings:
+  //    wmax = amax = 10, ensemble size N = 50, selectivity tau = 40%.
+  core::EnsembleParams params;
+  params.seed = 42;
+  core::EnsembleGiDetector detector(params);
+
+  // 3. Detect. The window length is the scale of anomaly you care about —
+  //    here one heartbeat (82 samples). Top-3 candidates, non-overlapping.
+  auto result = detector.Detect(data.values, /*window_length=*/82,
+                                /*max_candidates=*/3);
+  if (!result.ok()) {
+    std::printf("detection failed: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  // 4. Inspect the ranked candidates.
+  std::printf("\nrank  position  severity  hit?\n");
+  int rank = 1;
+  for (const auto& candidate : *result) {
+    const double score = eval::ScoreEq5(candidate.position, data.anomaly.start,
+                                        data.anomaly.length);
+    std::printf("%4d  %8zu  %8.4f  %s\n", rank++, candidate.position,
+                candidate.severity, score > 0 ? "yes" : "no");
+  }
+
+  const double best = eval::BestScore(*result, data.anomaly);
+  std::printf("\nbest Score vs ground truth (paper Eq. 5): %.4f\n", best);
+  std::printf(best > 0 ? "the anomalous beat was found.\n"
+                       : "missed - try a different seed.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ts/window.h"
+
+namespace egi::core {
+
+/// One ranked anomaly candidate. Candidates returned by a detector are
+/// sorted most-anomalous first and are mutually non-overlapping.
+struct Anomaly {
+  /// Start of the anomalous subsequence (clamped so a full window fits).
+  size_t position = 0;
+  /// Reported subsequence length (the detection window length).
+  size_t length = 0;
+  /// Severity: larger is more anomalous. For density-based detectors this is
+  /// the negated (possibly normalized) rule density at the minimum; for
+  /// discord-based detectors it is the 1-NN distance.
+  double severity = 0.0;
+  /// Length of the contiguous curve-minimum run backing the candidate
+  /// (density-based detectors only; 0 otherwise).
+  size_t run_length = 0;
+
+  ts::Window window() const { return ts::Window{position, length}; }
+};
+
+/// Extracts up to `max_candidates` anomalies from a rule density curve
+/// (paper Section 5.2): repeatedly locate the lowest-valued contiguous run
+/// of the curve, report the subsequence starting there, then mask the
+/// neighbourhood (+- window_length) so candidates do not overlap.
+/// Candidate positions are clamped to [0, len - window_length].
+///
+/// Minima are searched only in the curve's *valid region*
+/// [window_length - 1, len - window_length]: points outside are covered by
+/// structurally fewer sliding windows, so their low density is an edge
+/// artifact, not evidence of anomaly (zero-density tails would otherwise
+/// always win). When the series is too short to have a valid region the
+/// whole curve is scanned.
+std::vector<Anomaly> FindDensityAnomalies(std::span<const double> density,
+                                          size_t window_length,
+                                          size_t max_candidates);
+
+}  // namespace egi::core

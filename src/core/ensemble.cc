@@ -1,0 +1,176 @@
+#include "core/ensemble.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <string>
+
+#include "core/gi.h"
+#include "ts/stats.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace egi::core {
+
+Status ValidateEnsembleParams(size_t series_length,
+                              const EnsembleParams& params) {
+  if (params.window_length < 2 || params.window_length > series_length) {
+    return Status::InvalidArgument(
+        "window length " + std::to_string(params.window_length) +
+        " invalid for series of length " + std::to_string(series_length));
+  }
+  if (params.wmax < 2 || params.amax < 2) {
+    return Status::InvalidArgument("wmax and amax must be >= 2");
+  }
+  if (params.amax > sax::kMaxAlphabetSize) {
+    return Status::InvalidArgument("amax exceeds maximum alphabet size");
+  }
+  if (static_cast<size_t>(params.wmax) > params.window_length) {
+    return Status::InvalidArgument("wmax must not exceed the window length");
+  }
+  if (params.ensemble_size < 1) {
+    return Status::InvalidArgument("ensemble size must be >= 1");
+  }
+  if (params.selectivity <= 0.0 || params.selectivity > 1.0) {
+    return Status::InvalidArgument("selectivity must be in (0, 1]");
+  }
+  return Status::OK();
+}
+
+std::vector<sax::WaParam> DrawParameterSample(int wmax, int amax, int count,
+                                              uint64_t seed) {
+  EGI_CHECK(wmax >= 2 && amax >= 2 && count >= 1);
+  std::vector<sax::WaParam> grid;
+  grid.reserve(static_cast<size_t>(wmax - 1) * static_cast<size_t>(amax - 1));
+  for (int w = 2; w <= wmax; ++w) {
+    for (int a = 2; a <= amax; ++a) grid.push_back(sax::WaParam{w, a});
+  }
+  Rng rng(seed);
+  const size_t k = std::min(static_cast<size_t>(count), grid.size());
+  const auto picks = rng.SampleWithoutReplacement(grid.size(), k);
+  std::vector<sax::WaParam> sample;
+  sample.reserve(k);
+  for (size_t idx : picks) sample.push_back(grid[idx]);
+  return sample;
+}
+
+std::vector<double> CombineMemberCurves(
+    std::span<const std::vector<double>> curves, double selectivity,
+    CombineRule combine, NormalizeMode normalize, bool filter_by_std,
+    std::vector<double>* member_stats, std::vector<bool>* kept) {
+  EGI_CHECK(!curves.empty()) << "no member curves";
+  const size_t len = curves[0].size();
+  for (const auto& c : curves)
+    EGI_CHECK(c.size() == len) << "member curves of unequal length";
+
+  // Quality statistic per curve (Lines 7-9 of Algorithm 1).
+  std::vector<double> stds(curves.size());
+  for (size_t i = 0; i < curves.size(); ++i)
+    stds[i] = ts::PopulationStdDev(curves[i]);
+  if (member_stats != nullptr) *member_stats = stds;
+
+  // Rank by std descending; ties broken by draw order for determinism.
+  std::vector<size_t> order(curves.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) { return stds[a] > stds[b]; });
+
+  size_t keep_count = curves.size();
+  if (filter_by_std) {
+    keep_count = static_cast<size_t>(
+        std::lround(selectivity * static_cast<double>(curves.size())));
+    keep_count = std::clamp<size_t>(keep_count, 1, curves.size());
+  }
+  if (kept != nullptr) {
+    kept->assign(curves.size(), false);
+    for (size_t i = 0; i < keep_count; ++i) (*kept)[order[i]] = true;
+  }
+
+  // Normalize each kept curve (Line 11) into working copies.
+  std::vector<std::vector<double>> normed;
+  normed.reserve(keep_count);
+  for (size_t i = 0; i < keep_count; ++i) {
+    const auto& src = curves[order[i]];
+    std::vector<double> c(src);
+    switch (normalize) {
+      case NormalizeMode::kMaxPreservingZeros: {
+        const double mx = *std::max_element(c.begin(), c.end());
+        if (mx > 0.0) {
+          for (double& v : c) v /= mx;
+        }
+        break;
+      }
+      case NormalizeMode::kMinMax: {
+        const auto mm = ts::FindMinMax(c);
+        const double range = mm.max - mm.min;
+        if (range > 0.0) {
+          for (double& v : c) v = (v - mm.min) / range;
+        } else {
+          std::fill(c.begin(), c.end(), 0.0);
+        }
+        break;
+      }
+      case NormalizeMode::kNone:
+        break;
+    }
+    normed.push_back(std::move(c));
+  }
+
+  // Combine point-wise (Line 14).
+  std::vector<double> ensemble(len, 0.0);
+  std::vector<double> column(normed.size());
+  for (size_t t = 0; t < len; ++t) {
+    for (size_t i = 0; i < normed.size(); ++i) column[i] = normed[i][t];
+    ensemble[t] = combine == CombineRule::kMedian
+                      ? ts::Median(column)
+                      : ts::Mean(column);
+  }
+  return ensemble;
+}
+
+Result<std::vector<std::vector<double>>> ComputeMemberDensityCurves(
+    std::span<const double> series, const EnsembleParams& params,
+    std::vector<sax::WaParam>* out_sample) {
+  EGI_RETURN_IF_ERROR(sax::ValidateSeriesValues(series));
+  EGI_RETURN_IF_ERROR(ValidateEnsembleParams(series.size(), params));
+
+  const auto sample = DrawParameterSample(params.wmax, params.amax,
+                                          params.ensemble_size, params.seed);
+  if (out_sample != nullptr) *out_sample = sample;
+
+  // Shared discretization across all members (Section 6.2).
+  sax::MultiResSaxEncoder encoder(series, params.window_length, params.amax,
+                                  params.norm_threshold,
+                                  params.numerosity_reduction);
+  EGI_ASSIGN_OR_RETURN(auto discretized, encoder.EncodeAll(sample));
+
+  std::vector<std::vector<double>> curves;
+  curves.reserve(sample.size());
+  for (auto& d : discretized) {
+    curves.push_back(
+        RunGrammarInductionOnTokens(d, params.boundary_correction).density);
+  }
+  return curves;
+}
+
+Result<EnsembleResult> ComputeEnsembleDensity(std::span<const double> series,
+                                              const EnsembleParams& params) {
+  std::vector<sax::WaParam> sample;
+  EGI_ASSIGN_OR_RETURN(auto curves,
+                       ComputeMemberDensityCurves(series, params, &sample));
+
+  std::vector<double> stds;
+  std::vector<bool> kept;
+  EnsembleResult out;
+  out.density = CombineMemberCurves(curves, params.selectivity, params.combine,
+                                    params.normalize, params.filter_by_std,
+                                    &stds, &kept);
+  out.members.resize(sample.size());
+  for (size_t i = 0; i < sample.size(); ++i) {
+    out.members[i] = EnsembleMember{sample[i].paa_size,
+                                    sample[i].alphabet_size, stds[i], kept[i]};
+  }
+  return out;
+}
+
+}  // namespace egi::core

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sax/multires_encoder.h"
+#include "ts/stats.h"
+#include "util/result.h"
+
+namespace egi::core {
+
+/// How kept member curves are combined into the ensemble curve. The paper
+/// uses the point-wise median; mean is provided for the ablation bench.
+enum class CombineRule { kMedian, kMean };
+
+/// Per-curve normalization before combining. The paper divides each curve by
+/// its own maximum to preserve exact zeros (it explicitly rejects min-max
+/// normalization); min-max is provided for the ablation bench.
+enum class NormalizeMode { kMaxPreservingZeros, kMinMax, kNone };
+
+/// Parameters of Algorithm 1 (Ensemble Rule Density Curve). Defaults are the
+/// paper's experimental configuration: wmax = amax = 10, N = 50, tau = 40%.
+struct EnsembleParams {
+  size_t window_length = 0;  ///< sliding window length n
+  int wmax = 10;             ///< PAA sizes drawn from [2, wmax]
+  int amax = 10;             ///< alphabet sizes drawn from [2, amax]
+  int ensemble_size = 50;    ///< N; capped at the grid size (combinations
+                             ///< are drawn without replacement)
+  double selectivity = 0.4;  ///< tau: fraction of curves kept by std-dev rank
+  uint64_t seed = 42;        ///< RNG seed for the parameter draw
+
+  double norm_threshold = ts::kDefaultNormThreshold;
+  bool numerosity_reduction = true;
+
+  // Ablation knobs (paper behaviour by default, except boundary_correction
+  // which fixes a structural edge artifact — see grammar/density.h).
+  CombineRule combine = CombineRule::kMedian;
+  NormalizeMode normalize = NormalizeMode::kMaxPreservingZeros;
+  bool filter_by_std = true;        ///< when false, all N curves are kept
+  bool boundary_correction = true;  ///< per-point window-coverage scaling
+};
+
+/// One ensemble member: the (w, a) draw, its curve's quality statistic, and
+/// whether the selectivity filter kept it.
+struct EnsembleMember {
+  int paa_size = 0;
+  int alphabet_size = 0;
+  double std_dev = 0.0;
+  bool kept = false;
+};
+
+/// Result of Algorithm 1.
+struct EnsembleResult {
+  std::vector<double> density;          ///< the ensemble rule density curve
+  std::vector<EnsembleMember> members;  ///< all N members, draw order
+};
+
+Status ValidateEnsembleParams(size_t series_length,
+                              const EnsembleParams& params);
+
+/// Draws `count` distinct (w, a) pairs uniformly from [2,wmax] x [2,amax]
+/// (Line 5 of Algorithm 1; each combination used at most once). When `count`
+/// exceeds the grid size the whole grid is returned in random order.
+std::vector<sax::WaParam> DrawParameterSample(int wmax, int amax, int count,
+                                              uint64_t seed);
+
+/// Runs Algorithm 1 end to end: draw parameters, build N rule density curves
+/// (sharing discretization through the multi-resolution encoder), filter by
+/// standard deviation, normalize, and combine.
+Result<EnsembleResult> ComputeEnsembleDensity(std::span<const double> series,
+                                              const EnsembleParams& params);
+
+/// Lines 4-6 of Algorithm 1 in isolation: the N raw member density curves
+/// for the parameter draw of `params` (before filtering/normalization).
+/// `out_sample` (optional) receives the drawn (w, a) pairs. Exposed so the
+/// N- and tau-sweep benches can compute member curves once and re-combine
+/// them many ways; a prefix of a without-replacement draw is itself a valid
+/// smaller draw, so N-sweeps may reuse prefixes.
+Result<std::vector<std::vector<double>>> ComputeMemberDensityCurves(
+    std::span<const double> series, const EnsembleParams& params,
+    std::vector<sax::WaParam>* out_sample = nullptr);
+
+/// Steps 7-14 of Algorithm 1 in isolation: given precomputed member curves,
+/// applies the selectivity filter, normalization, and combination. Exposed
+/// so parameter-sweep benches (N, tau) can reuse one set of member curves.
+/// `member_stats` is filled with each curve's population standard deviation;
+/// `kept` (optional) records the filter decision per curve.
+std::vector<double> CombineMemberCurves(
+    std::span<const std::vector<double>> curves, double selectivity,
+    CombineRule combine, NormalizeMode normalize, bool filter_by_std,
+    std::vector<double>* member_stats = nullptr,
+    std::vector<bool>* kept = nullptr);
+
+}  // namespace egi::core

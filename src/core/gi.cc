@@ -1,0 +1,35 @@
+#include "core/gi.h"
+
+#include "grammar/density.h"
+#include "grammar/sequitur.h"
+
+namespace egi::core {
+
+GiRun RunGrammarInductionOnTokens(const sax::DiscretizedSeries& discretized,
+                                  bool boundary_correction) {
+  GiRun run;
+  run.num_tokens = discretized.seq.size();
+  run.vocabulary = discretized.table.size();
+
+  const grammar::Grammar g = grammar::InduceGrammar(discretized.seq.tokens);
+  run.num_rules = g.rules.size();
+  run.grammar_symbols = g.TotalRhsSymbols();
+  run.density = grammar::BuildRuleDensityCurve(
+      g, discretized.seq.offsets, discretized.series_length,
+      discretized.window_length, boundary_correction);
+  return run;
+}
+
+Result<GiRun> RunGrammarInduction(std::span<const double> series,
+                                  const GiParams& params) {
+  sax::SaxParams sp;
+  sp.window_length = params.window_length;
+  sp.paa_size = params.paa_size;
+  sp.alphabet_size = params.alphabet_size;
+  sp.norm_threshold = params.norm_threshold;
+  sp.numerosity_reduction = params.numerosity_reduction;
+  EGI_ASSIGN_OR_RETURN(auto discretized, sax::DiscretizeSeries(series, sp));
+  return RunGrammarInductionOnTokens(discretized, params.boundary_correction);
+}
+
+}  // namespace egi::core

@@ -1,0 +1,49 @@
+#include "datasets/physio.h"
+
+#include <cmath>
+
+#include "datasets/shapes.h"
+
+namespace egi::datasets {
+
+std::vector<double> MakeLongEcg(size_t length, Rng& rng) {
+  std::vector<double> v(length, 0.0);
+  double beat_start = 0.0;
+  while (beat_start < static_cast<double>(length)) {
+    const double rr = 250.0 * (1.0 + rng.UniformDouble(-0.06, 0.06));
+    const double amp = 1.0 + rng.UniformDouble(-0.08, 0.08);
+    AddGaussianBump(v, beat_start + 0.24 * rr, 0.04 * rr, 0.22 * amp);  // P
+    AddGaussianBump(v, beat_start + 0.44 * rr, 0.012 * rr, -0.3 * amp);  // Q
+    AddGaussianBump(v, beat_start + 0.47 * rr, 0.016 * rr, 1.7 * amp);   // R
+    AddGaussianBump(v, beat_start + 0.51 * rr, 0.012 * rr, -0.5 * amp);  // S
+    AddGaussianBump(v, beat_start + 0.70 * rr, 0.07 * rr, 0.4 * amp);    // T
+    beat_start += rr;
+  }
+  AddGaussianNoise(v, rng, 0.04);
+  return v;
+}
+
+std::vector<double> MakeEeg(size_t length, Rng& rng) {
+  std::vector<double> v(length, 0.0);
+  // Band oscillators with slowly drifting amplitude and phase.
+  struct Band {
+    double period;
+    double base_amp;
+  };
+  const Band bands[] = {{62.0, 0.6}, {24.0, 1.0}, {9.0, 0.35}};
+  for (const Band& band : bands) {
+    double phase = rng.UniformDouble(0.0, 2.0 * M_PI);
+    double amp = band.base_amp;
+    for (size_t i = 0; i < length; ++i) {
+      phase += 2.0 * M_PI / (band.period * (1.0 + 0.02 * rng.Gaussian()));
+      amp += 0.01 * rng.Gaussian();
+      // Keep the drift mean-reverting so the signal stays stationary-ish.
+      amp += 0.002 * (band.base_amp - amp);
+      v[i] += amp * std::sin(phase);
+    }
+  }
+  AddGaussianNoise(v, rng, 0.25);
+  return v;
+}
+
+}  // namespace egi::datasets

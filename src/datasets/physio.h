@@ -1,0 +1,18 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace egi::datasets {
+
+/// Long quasi-periodic ECG stream (scalability experiments, Section 7.3):
+/// PQRST beats every ~250 samples with rate and amplitude jitter.
+std::vector<double> MakeLongEcg(size_t length, Rng& rng);
+
+/// EEG-like stream (Section 7.3): a mixture of theta/alpha/beta band
+/// oscillations whose amplitudes drift slowly, plus broadband noise.
+std::vector<double> MakeEeg(size_t length, Rng& rng);
+
+}  // namespace egi::datasets

@@ -1,0 +1,14 @@
+#include "datasets/random_walk.h"
+
+namespace egi::datasets {
+
+std::vector<double> MakeRandomWalk(size_t length, Rng& rng,
+                                   double step_sigma) {
+  std::vector<double> v(length, 0.0);
+  for (size_t i = 1; i < length; ++i) {
+    v[i] = v[i - 1] + rng.Gaussian(0.0, step_sigma);
+  }
+  return v;
+}
+
+}  // namespace egi::datasets

@@ -1,0 +1,15 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace egi::datasets {
+
+/// Gaussian random walk of the given length (scalability experiments,
+/// Section 7.3): x[0] = 0, x[i] = x[i-1] + N(0, step_sigma).
+std::vector<double> MakeRandomWalk(size_t length, Rng& rng,
+                                   double step_sigma = 1.0);
+
+}  // namespace egi::datasets

@@ -1,0 +1,73 @@
+#include "datasets/shapes.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace egi::datasets {
+
+void AddGaussianBump(std::span<double> out, double center, double width,
+                     double amplitude) {
+  if (out.empty() || width <= 0.0) return;
+  const double reach = 4.0 * width;
+  const auto lo = static_cast<size_t>(std::max(0.0, std::floor(center - reach)));
+  const auto hi = std::min(out.size(), static_cast<size_t>(std::max(
+                                           0.0, std::ceil(center + reach))));
+  for (size_t i = lo; i < hi; ++i) {
+    const double d = (static_cast<double>(i) - center) / width;
+    out[i] += amplitude * std::exp(-0.5 * d * d);
+  }
+}
+
+void AddSine(std::span<double> out, size_t from, size_t to, double period,
+             double phase, double amplitude) {
+  if (period <= 0.0) return;
+  to = std::min(to, out.size());
+  for (size_t i = from; i < to; ++i) {
+    const double x = static_cast<double>(i - from);
+    out[i] += amplitude * std::sin(2.0 * M_PI * x / period + phase);
+  }
+}
+
+void AddRamp(std::span<double> out, size_t from, size_t to, double v0,
+             double v1) {
+  to = std::min(to, out.size());
+  if (from >= to) return;
+  const double span = static_cast<double>(to - from - 1);
+  for (size_t i = from; i < to; ++i) {
+    const double f =
+        span > 0.0 ? static_cast<double>(i - from) / span : 1.0;
+    out[i] += v0 + (v1 - v0) * f;
+  }
+}
+
+void AddLevel(std::span<double> out, size_t from, size_t to, double value) {
+  to = std::min(to, out.size());
+  for (size_t i = from; i < to; ++i) out[i] += value;
+}
+
+void AddSmoothStep(std::span<double> out, double center, double steepness,
+                   double amplitude) {
+  if (steepness <= 0.0) steepness = 1.0;
+  for (size_t i = 0; i < out.size(); ++i) {
+    const double x = (static_cast<double>(i) - center) / steepness;
+    out[i] += amplitude / (1.0 + std::exp(-x));
+  }
+}
+
+void AddDampedOscillation(std::span<double> out, size_t from, double period,
+                          double decay, double amplitude) {
+  if (period <= 0.0 || decay <= 0.0) return;
+  for (size_t i = from; i < out.size(); ++i) {
+    const double x = static_cast<double>(i - from);
+    const double envelope = std::exp(-x / decay);
+    if (envelope < 1e-4) break;
+    out[i] += amplitude * envelope * std::sin(2.0 * M_PI * x / period);
+  }
+}
+
+void AddGaussianNoise(std::span<double> out, Rng& rng, double sigma) {
+  if (sigma <= 0.0) return;
+  for (double& v : out) v += rng.Gaussian(0.0, sigma);
+}
+
+}  // namespace egi::datasets

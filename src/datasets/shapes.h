@@ -1,0 +1,43 @@
+#pragma once
+
+#include <span>
+
+#include "util/rng.h"
+
+namespace egi::datasets {
+
+/// Additive waveform primitives used by the synthetic dataset generators.
+/// All positions/widths are in samples and may be fractional; every function
+/// adds into `out` so shapes compose.
+
+/// Gaussian bump centred at `center` with the given standard-deviation-like
+/// width; contributions beyond 4 widths are skipped.
+void AddGaussianBump(std::span<double> out, double center, double width,
+                     double amplitude);
+
+/// Sinusoid over [from, to): amplitude * sin(2*pi*(i-from)/period + phase).
+void AddSine(std::span<double> out, size_t from, size_t to, double period,
+             double phase, double amplitude);
+
+/// Linear ramp over [from, to): interpolates v0 -> v1 (inclusive ends).
+void AddRamp(std::span<double> out, size_t from, size_t to, double v0,
+             double v1);
+
+/// Constant level over [from, to).
+void AddLevel(std::span<double> out, size_t from, size_t to, double value);
+
+/// Smooth logistic transition centred at `center`: adds
+/// amplitude / (1 + exp(-(i - center)/steepness)) over the whole span —
+/// i.e. ~0 well before the centre and ~amplitude well after.
+void AddSmoothStep(std::span<double> out, double center, double steepness,
+                   double amplitude);
+
+/// Exponentially damped oscillation starting at `from`:
+/// amplitude * exp(-(i-from)/decay) * sin(2*pi*(i-from)/period).
+void AddDampedOscillation(std::span<double> out, size_t from, double period,
+                          double decay, double amplitude);
+
+/// Adds i.i.d. Gaussian noise with the given standard deviation.
+void AddGaussianNoise(std::span<double> out, Rng& rng, double sigma);
+
+}  // namespace egi::datasets

@@ -1,0 +1,34 @@
+#include "discord/discords.h"
+
+#include <cmath>
+#include <limits>
+
+namespace egi::discord {
+
+std::vector<Discord> TopKDiscords(const MatrixProfile& mp, size_t k) {
+  const size_t count = mp.size();
+  std::vector<Discord> out;
+  std::vector<bool> masked(count, false);
+
+  while (out.size() < k) {
+    double best = -std::numeric_limits<double>::infinity();
+    size_t best_pos = count;
+    for (size_t i = 0; i < count; ++i) {
+      if (masked[i] || !std::isfinite(mp.distances[i])) continue;
+      if (mp.distances[i] > best) {
+        best = mp.distances[i];
+        best_pos = i;
+      }
+    }
+    if (best_pos == count) break;
+    out.push_back(Discord{best_pos, best});
+
+    const size_t m = mp.window_length;
+    const size_t lo = best_pos > m - 1 ? best_pos - (m - 1) : 0;
+    const size_t hi = std::min(count - 1, best_pos + m - 1);
+    for (size_t i = lo; i <= hi; ++i) masked[i] = true;
+  }
+  return out;
+}
+
+}  // namespace egi::discord

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "discord/matrix_profile.h"
+
+namespace egi::discord {
+
+/// One discord: the subsequence whose nearest-neighbour distance is largest.
+struct Discord {
+  size_t position = 0;
+  double distance = 0.0;
+};
+
+/// Extracts up to `k` discords from a matrix profile, best (largest 1-NN
+/// distance) first. Selected discords are mutually non-overlapping: any
+/// position within `window_length` of a previous pick is skipped. Positions
+/// with non-finite profile values (no admissible neighbour) are ignored.
+std::vector<Discord> TopKDiscords(const MatrixProfile& mp, size_t k);
+
+}  // namespace egi::discord

@@ -1,0 +1,139 @@
+#include "discord/hotsax.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <unordered_map>
+#include <vector>
+
+#include "discord/internal.h"
+#include "sax/sax_encoder.h"
+#include "util/rng.h"
+
+namespace egi::discord {
+
+namespace {
+
+// z-normalized squared distance between windows i and j with early abandon:
+// returns +inf as soon as the partial sum exceeds `cap_sq`. Flat-window
+// conventions match internal::PairDistance.
+double PairDistSqAbandon(std::span<const double> series, size_t i, size_t j,
+                         size_t m, const std::vector<double>& means,
+                         const std::vector<double>& stds, double cap_sq) {
+  const bool flat_i = stds[i] < kFlatSigmaThreshold;
+  const bool flat_j = stds[j] < kFlatSigmaThreshold;
+  if (flat_i && flat_j) return 0.0;
+  if (flat_i || flat_j) return static_cast<double>(m);
+
+  const double mu_i = means[i], inv_i = 1.0 / stds[i];
+  const double mu_j = means[j], inv_j = 1.0 / stds[j];
+  double acc = 0.0;
+  for (size_t k = 0; k < m; ++k) {
+    const double zi = (series[i + k] - mu_i) * inv_i;
+    const double zj = (series[j + k] - mu_j) * inv_j;
+    const double d = zi - zj;
+    acc += d * d;
+    if (acc > cap_sq) return std::numeric_limits<double>::infinity();
+  }
+  return acc;
+}
+
+}  // namespace
+
+Result<std::vector<Discord>> FindDiscordsHotSax(std::span<const double> series,
+                                                size_t window_length,
+                                                size_t k,
+                                                const HotSaxOptions& options) {
+  EGI_RETURN_IF_ERROR(
+      internal::ValidateMatrixProfileInput(series, window_length));
+
+  const auto centered = internal::CenterSeries(series);
+  const std::span<const double> data(centered);
+
+  const size_t m = window_length;
+  const size_t count = data.size() - m + 1;
+  const size_t exclusion = DefaultExclusionRadius(m);
+
+  // SAX word per position (no numerosity reduction: HOTSAX needs all).
+  sax::SaxParams sp;
+  sp.window_length = m;
+  sp.paa_size = std::min<int>(options.paa_size, static_cast<int>(m));
+  sp.alphabet_size = options.alphabet_size;
+  sp.numerosity_reduction = false;
+  EGI_ASSIGN_OR_RETURN(auto discretized, sax::DiscretizeSeries(series, sp));
+  EGI_CHECK(discretized.seq.size() == count);
+  const std::vector<int32_t>& word_of = discretized.seq.tokens;
+
+  // Bucket positions by word.
+  std::unordered_map<int32_t, std::vector<size_t>> buckets;
+  for (size_t i = 0; i < count; ++i) buckets[word_of[i]].push_back(i);
+
+  // Outer order: rarest words first (classic HOTSAX heuristic).
+  std::vector<size_t> outer(count);
+  std::iota(outer.begin(), outer.end(), size_t{0});
+  std::stable_sort(outer.begin(), outer.end(), [&](size_t a, size_t b) {
+    return buckets[word_of[a]].size() < buckets[word_of[b]].size();
+  });
+
+  // Inner random order (deterministic given the seed).
+  std::vector<size_t> random_order(count);
+  std::iota(random_order.begin(), random_order.end(), size_t{0});
+  Rng rng(options.seed);
+  rng.Shuffle(std::span<size_t>(random_order));
+
+  std::vector<double> means, stds;
+  internal::WindowMeanStd(data, m, &means, &stds);
+
+  std::vector<bool> masked(count, false);
+  std::vector<Discord> out;
+
+  while (out.size() < k) {
+    double best_sq = -1.0;
+    size_t best_pos = count;
+
+    for (size_t i : outer) {
+      if (masked[i]) continue;
+      double nn_sq = std::numeric_limits<double>::infinity();
+      bool beaten = false;
+
+      auto visit = [&](size_t j) {
+        if (beaten) return;
+        const size_t gap = i > j ? i - j : j - i;
+        if (gap < exclusion) return;
+        const double cap = std::min(nn_sq, std::numeric_limits<double>::max());
+        const double d_sq =
+            PairDistSqAbandon(data, i, j, m, means, stds, cap);
+        if (d_sq < nn_sq) nn_sq = d_sq;
+        // If i already has a neighbour closer than the best discord found so
+        // far, i cannot be the discord: abandon this candidate.
+        if (nn_sq <= best_sq) beaten = true;
+      };
+
+      // Same-word neighbours first: most likely to be close, triggering the
+      // abandon early.
+      const int32_t w = word_of[i];
+      for (size_t j : buckets[w]) visit(j);
+      if (!beaten) {
+        for (size_t j : random_order) {
+          if (word_of[j] == w) continue;  // already visited
+          visit(j);
+          if (beaten) break;
+        }
+      }
+      if (!beaten && std::isfinite(nn_sq) && nn_sq > best_sq) {
+        best_sq = nn_sq;
+        best_pos = i;
+      }
+    }
+
+    if (best_pos == count) break;
+    out.push_back(Discord{best_pos, std::sqrt(best_sq)});
+    const size_t lo = best_pos > m - 1 ? best_pos - (m - 1) : 0;
+    const size_t hi = std::min(count - 1, best_pos + m - 1);
+    for (size_t i = lo; i <= hi; ++i) masked[i] = true;
+  }
+  return out;
+}
+
+}  // namespace egi::discord

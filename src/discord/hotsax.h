@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "discord/discords.h"
+#include "util/result.h"
+
+namespace egi::discord {
+
+/// Options for the HOTSAX discord search (Keogh, Lin & Fu 2005 — ref [9] of
+/// the paper). The classic heuristic uses 3-symbol SAX words over a ternary
+/// alphabet to order the outer/inner loops.
+struct HotSaxOptions {
+  int paa_size = 3;
+  int alphabet_size = 3;
+  uint64_t seed = 7;  ///< inner-loop random order (deterministic)
+};
+
+/// Finds up to `k` mutually non-overlapping discords using the HOTSAX
+/// heuristic (best-first outer ordering by rare SAX words + early
+/// abandoning). Exact: returns the same discords as a brute-force scan
+/// (validated in tests), typically much faster. The non-self-match
+/// definition matches the matrix-profile default exclusion radius so that
+/// results are comparable with TopKDiscords(ComputeMatrixProfileStomp(...)).
+Result<std::vector<Discord>> FindDiscordsHotSax(std::span<const double> series,
+                                                size_t window_length,
+                                                size_t k,
+                                                const HotSaxOptions& options =
+                                                    HotSaxOptions{});
+
+}  // namespace egi::discord

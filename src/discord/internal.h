@@ -1,0 +1,34 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/status.h"
+
+namespace egi::discord::internal {
+
+/// Shared helpers between the brute-force and STOMP matrix profile
+/// implementations. Not part of the public API.
+
+Status ValidateMatrixProfileArgs(size_t series_length, size_t window_length);
+
+/// Argument validation plus non-finite input rejection.
+Status ValidateMatrixProfileInput(std::span<const double> series,
+                                  size_t window_length);
+
+/// Returns the series shifted to zero global mean. z-normalized distances
+/// are shift-invariant, and centering prevents catastrophic cancellation in
+/// the dot-product correlation formula when data ride on a large offset.
+std::vector<double> CenterSeries(std::span<const double> series);
+
+/// Population mean/std per sliding window (the statistics STOMP's
+/// correlation formula expects).
+void WindowMeanStd(std::span<const double> series, size_t m,
+                   std::vector<double>* means, std::vector<double>* stds);
+
+/// z-normalized Euclidean distance for a pair of windows given the raw dot
+/// product, honouring the flat-window conventions of matrix_profile.h.
+double PairDistance(double qt, double mu_i, double sigma_i, double mu_j,
+                    double sigma_j, size_t m);
+
+}  // namespace egi::discord::internal

@@ -1,0 +1,122 @@
+#include "discord/matrix_profile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "discord/internal.h"
+#include "ts/prefix_stats.h"
+#include "ts/stats.h"
+
+namespace egi::discord {
+
+size_t DefaultExclusionRadius(size_t window_length) {
+  return std::max<size_t>(1, window_length / 2);
+}
+
+namespace internal {
+
+Status ValidateMatrixProfileArgs(size_t series_length, size_t window_length) {
+  if (window_length < 2) {
+    return Status::InvalidArgument("window length must be >= 2");
+  }
+  if (window_length > series_length) {
+    return Status::InvalidArgument(
+        "window length " + std::to_string(window_length) +
+        " exceeds series length " + std::to_string(series_length));
+  }
+  return Status::OK();
+}
+
+Status ValidateMatrixProfileInput(std::span<const double> series,
+                                  size_t window_length) {
+  if (!ts::AllFinite(series)) {
+    return Status::InvalidArgument(
+        "series contains non-finite values (NaN or Inf)");
+  }
+  return ValidateMatrixProfileArgs(series.size(), window_length);
+}
+
+std::vector<double> CenterSeries(std::span<const double> series) {
+  const double mu = ts::Mean(series);
+  std::vector<double> centered(series.begin(), series.end());
+  for (double& v : centered) v -= mu;
+  return centered;
+}
+
+// Population mean/std per sliding window, the statistics STOMP's correlation
+// formula expects.
+void WindowMeanStd(std::span<const double> series, size_t m,
+                   std::vector<double>* means, std::vector<double>* stds) {
+  const ts::PrefixStats stats(series);
+  const size_t count = series.size() - m + 1;
+  means->resize(count);
+  stds->resize(count);
+  const double dm = static_cast<double>(m);
+  for (size_t i = 0; i < count; ++i) {
+    const double ex = stats.RangeSum(i, m);
+    const double exx = stats.RangeSumSq(i, m);
+    const double mu = ex / dm;
+    const double var = std::max(0.0, exx / dm - mu * mu);
+    (*means)[i] = mu;
+    (*stds)[i] = std::sqrt(var);
+  }
+}
+
+// Distance for a pair given the dot product of the raw windows, honouring
+// the flat-window conventions.
+double PairDistance(double qt, double mu_i, double sigma_i, double mu_j,
+                    double sigma_j, size_t m) {
+  const double dm = static_cast<double>(m);
+  const bool flat_i = sigma_i < kFlatSigmaThreshold;
+  const bool flat_j = sigma_j < kFlatSigmaThreshold;
+  if (flat_i && flat_j) return 0.0;
+  if (flat_i || flat_j) return std::sqrt(dm);
+  const double rho = (qt - dm * mu_i * mu_j) / (dm * sigma_i * sigma_j);
+  return std::sqrt(std::max(0.0, 2.0 * dm * (1.0 - rho)));
+}
+
+}  // namespace internal
+
+Result<MatrixProfile> ComputeMatrixProfileBrute(std::span<const double> series,
+                                                size_t window_length,
+                                                size_t exclusion_radius) {
+  EGI_RETURN_IF_ERROR(
+      internal::ValidateMatrixProfileInput(series, window_length));
+  if (exclusion_radius == 0)
+    exclusion_radius = DefaultExclusionRadius(window_length);
+
+  const auto centered = internal::CenterSeries(series);
+  const std::span<const double> data(centered);
+
+  const size_t m = window_length;
+  const size_t count = data.size() - m + 1;
+
+  std::vector<double> means, stds;
+  internal::WindowMeanStd(data, m, &means, &stds);
+
+  MatrixProfile mp;
+  mp.window_length = m;
+  mp.exclusion_radius = exclusion_radius;
+  mp.distances.assign(count, std::numeric_limits<double>::infinity());
+  mp.indices.assign(count, count);
+
+  for (size_t i = 0; i < count; ++i) {
+    for (size_t j = 0; j < count; ++j) {
+      const size_t gap = i > j ? i - j : j - i;
+      if (gap < exclusion_radius) continue;
+      double qt = 0.0;
+      for (size_t k = 0; k < m; ++k) qt += data[i + k] * data[j + k];
+      const double d =
+          internal::PairDistance(qt, means[i], stds[i], means[j], stds[j], m);
+      if (d < mp.distances[i]) {
+        mp.distances[i] = d;
+        mp.indices[i] = j;
+      }
+    }
+  }
+  return mp;
+}
+
+}  // namespace egi::discord

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/result.h"
+
+namespace egi::discord {
+
+/// Self-join matrix profile: for every subsequence, the z-normalized
+/// Euclidean distance to (and index of) its nearest non-trivial neighbour.
+/// Subsequences with no admissible neighbour (possible only when the series
+/// barely exceeds the window) carry +infinity.
+struct MatrixProfile {
+  std::vector<double> distances;
+  std::vector<size_t> indices;
+  size_t window_length = 0;
+  size_t exclusion_radius = 0;
+
+  size_t size() const { return distances.size(); }
+};
+
+/// Default trivial-match exclusion radius: pairs (i, j) with
+/// |i - j| < radius are ignored. m/2 is the STOMP/Matrix-Profile convention.
+size_t DefaultExclusionRadius(size_t window_length);
+
+/// Shared z-normalized distance conventions for degenerate (flat) windows:
+/// two flat windows are identical (distance 0); a flat vs. non-flat pair is
+/// assigned sqrt(m) (the distance between the zero vector and any
+/// z-normalized window). Both implementations below follow this.
+inline constexpr double kFlatSigmaThreshold = 1e-10;
+
+/// O(n^2 * m) reference implementation; the oracle for STOMP tests.
+/// `exclusion_radius == 0` selects DefaultExclusionRadius(m).
+Result<MatrixProfile> ComputeMatrixProfileBrute(std::span<const double> series,
+                                                size_t window_length,
+                                                size_t exclusion_radius = 0);
+
+/// STOMP (Zhu et al. 2016, ref [23] of the paper): O(n^2) with O(1) work per
+/// cell via the sliding dot-product recurrence. `num_threads > 1` splits the
+/// row range across threads (each seeds its first row with a direct dot
+/// product). `exclusion_radius == 0` selects DefaultExclusionRadius(m).
+Result<MatrixProfile> ComputeMatrixProfileStomp(std::span<const double> series,
+                                                size_t window_length,
+                                                int num_threads = 1,
+                                                size_t exclusion_radius = 0);
+
+}  // namespace egi::discord

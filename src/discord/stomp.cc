@@ -1,0 +1,112 @@
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "discord/internal.h"
+#include "discord/matrix_profile.h"
+
+namespace egi::discord {
+
+namespace {
+
+// Fills mp->distances/indices for rows [row_begin, row_end). Each worker
+// seeds its first row with a direct O(n*m) dot product, then applies the
+// O(1)-per-cell STOMP recurrence:
+//   QT(i, j) = QT(i-1, j-1) - t[i-1]*t[j-1] + t[i+m-1]*t[j+m-1].
+// Rows only write mp entries for their own i, so workers never contend.
+void StompRows(std::span<const double> series, size_t m,
+               size_t exclusion_radius, const std::vector<double>& means,
+               const std::vector<double>& stds, size_t row_begin,
+               size_t row_end, MatrixProfile* mp) {
+  const size_t count = series.size() - m + 1;
+  std::vector<double> qt(count);
+
+  for (size_t i = row_begin; i < row_end; ++i) {
+    if (i == row_begin) {
+      for (size_t j = 0; j < count; ++j) {
+        double dot = 0.0;
+        for (size_t k = 0; k < m; ++k) dot += series[i + k] * series[j + k];
+        qt[j] = dot;
+      }
+    } else {
+      // Update in place right-to-left so qt[j-1] is still the previous row.
+      const double drop = series[i - 1];
+      const double add = series[i + m - 1];
+      for (size_t j = count; j-- > 1;) {
+        qt[j] = qt[j - 1] - drop * series[j - 1] + add * series[j + m - 1];
+      }
+      double dot = 0.0;
+      for (size_t k = 0; k < m; ++k) dot += series[i + k] * series[k];
+      qt[0] = dot;
+    }
+
+    double best = std::numeric_limits<double>::infinity();
+    size_t best_j = count;
+    for (size_t j = 0; j < count; ++j) {
+      const size_t gap = i > j ? i - j : j - i;
+      if (gap < exclusion_radius) continue;
+      const double d = internal::PairDistance(qt[j], means[i], stds[i],
+                                              means[j], stds[j], m);
+      if (d < best) {
+        best = d;
+        best_j = j;
+      }
+    }
+    mp->distances[i] = best;
+    mp->indices[i] = best_j;
+  }
+}
+
+}  // namespace
+
+Result<MatrixProfile> ComputeMatrixProfileStomp(std::span<const double> series,
+                                                size_t window_length,
+                                                int num_threads,
+                                                size_t exclusion_radius) {
+  EGI_RETURN_IF_ERROR(
+      internal::ValidateMatrixProfileInput(series, window_length));
+  if (num_threads < 1) {
+    return Status::InvalidArgument("num_threads must be >= 1");
+  }
+  if (exclusion_radius == 0)
+    exclusion_radius = DefaultExclusionRadius(window_length);
+
+  const auto centered = internal::CenterSeries(series);
+  const std::span<const double> data(centered);
+
+  const size_t m = window_length;
+  const size_t count = data.size() - m + 1;
+
+  std::vector<double> means, stds;
+  internal::WindowMeanStd(data, m, &means, &stds);
+
+  MatrixProfile mp;
+  mp.window_length = m;
+  mp.exclusion_radius = exclusion_radius;
+  mp.distances.assign(count, std::numeric_limits<double>::infinity());
+  mp.indices.assign(count, count);
+
+  const size_t workers =
+      std::min<size_t>(static_cast<size_t>(num_threads), count);
+  if (workers <= 1) {
+    StompRows(data, m, exclusion_radius, means, stds, 0, count, &mp);
+    return mp;
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  const size_t chunk = (count + workers - 1) / workers;
+  for (size_t t = 0; t < workers; ++t) {
+    const size_t begin = t * chunk;
+    const size_t end = std::min(count, begin + chunk);
+    if (begin >= end) break;
+    threads.emplace_back(StompRows, data, m, exclusion_radius,
+                         std::cref(means), std::cref(stds), begin, end, &mp);
+  }
+  for (auto& th : threads) th.join();
+  return mp;
+}
+
+}  // namespace egi::discord

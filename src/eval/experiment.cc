@@ -1,0 +1,72 @@
+#include "eval/experiment.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace egi::eval {
+
+const MethodAggregate& ExperimentResult::Get(datasets::UcrDataset d,
+                                             Method m) const {
+  auto dit = scores.find(d);
+  EGI_CHECK(dit != scores.end()) << "dataset not evaluated";
+  auto mit = dit->second.find(m);
+  EGI_CHECK(mit != dit->second.end()) << "method not evaluated";
+  return mit->second;
+}
+
+std::vector<datasets::PlantedSeries> MakeEvaluationSeries(
+    datasets::UcrDataset dataset, int count, uint64_t data_seed) {
+  // One deterministic substream per (dataset, index) so a different series
+  // count still yields the same leading series.
+  std::vector<datasets::PlantedSeries> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    Rng rng(data_seed ^ (0x517CC1B727220A95ULL *
+                         (static_cast<uint64_t>(dataset) * 1000 +
+                          static_cast<uint64_t>(i) + 1)));
+    out.push_back(datasets::MakePlantedSeries(dataset, rng));
+  }
+  return out;
+}
+
+ExperimentResult RunExperiment(
+    std::span<const datasets::UcrDataset> datasets_to_run,
+    std::span<const Method> methods, const ExperimentConfig& config) {
+  ExperimentResult result;
+  for (datasets::UcrDataset dataset : datasets_to_run) {
+    const auto series_set = MakeEvaluationSeries(
+        dataset, config.series_per_dataset, config.data_seed);
+    const size_t instance_len = datasets::GetDatasetSpec(dataset).instance_length;
+    const auto window = static_cast<size_t>(
+        std::max(2.0, config.window_fraction * static_cast<double>(instance_len)));
+
+    for (Method method : methods) {
+      auto detector = MakeMethod(method, config.method_config);
+      MethodAggregate agg;
+      agg.scores.reserve(series_set.size());
+      for (const auto& s : series_set) {
+        auto candidates = detector->Detect(s.values, window, config.top_k);
+        EGI_CHECK(candidates.ok())
+            << MethodName(method) << ": " << candidates.status().ToString();
+        agg.scores.push_back(BestScore(candidates.value(), s.anomaly));
+      }
+      result.scores[dataset][method] = std::move(agg);
+    }
+  }
+  return result;
+}
+
+WinTieLoss CompareScores(const MethodAggregate& proposed,
+                         const MethodAggregate& baseline) {
+  EGI_CHECK(proposed.scores.size() == baseline.scores.size())
+      << "mismatched series counts";
+  WinTieLoss wtl;
+  for (size_t i = 0; i < proposed.scores.size(); ++i) {
+    wtl.Add(proposed.scores[i], baseline.scores[i]);
+  }
+  return wtl;
+}
+
+}  // namespace egi::eval

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "datasets/planted.h"
+#include "eval/methods.h"
+#include "eval/metrics.h"
+
+namespace egi::eval {
+
+/// Configuration of the paper's main evaluation protocol (Section 7.1):
+/// `series_per_dataset` planted series per family, top-3 candidates per
+/// method, window length = (window_fraction x instance length).
+struct ExperimentConfig {
+  int series_per_dataset = 25;
+  size_t top_k = 3;
+  double window_fraction = 1.0;  ///< n = fraction * na (Tables 13/14 sweep)
+  uint64_t data_seed = 2020;     ///< seed for series generation
+  MethodConfig method_config;
+};
+
+/// Per-dataset, per-method evaluation outcome: the best-of-top-k Score for
+/// every generated series (everything else — average Score, HitRate,
+/// win/tie/loss — derives from these).
+struct ExperimentResult {
+  std::map<datasets::UcrDataset, std::map<Method, MethodAggregate>> scores;
+
+  const MethodAggregate& Get(datasets::UcrDataset d, Method m) const;
+};
+
+/// Deterministically regenerates the evaluation series for one dataset
+/// (shared by every bench so all tables see identical data).
+std::vector<datasets::PlantedSeries> MakeEvaluationSeries(
+    datasets::UcrDataset dataset, int count, uint64_t data_seed);
+
+/// Runs `methods` over every dataset in `datasets_to_run`.
+ExperimentResult RunExperiment(std::span<const datasets::UcrDataset>
+                                   datasets_to_run,
+                               std::span<const Method> methods,
+                               const ExperimentConfig& config);
+
+/// Win/tie/loss of `proposed` vs `baseline` over per-series score pairs.
+WinTieLoss CompareScores(const MethodAggregate& proposed,
+                         const MethodAggregate& baseline);
+
+}  // namespace egi::eval

@@ -1,0 +1,50 @@
+#include "eval/methods.h"
+
+#include "util/check.h"
+
+namespace egi::eval {
+
+std::string_view MethodName(Method method) {
+  switch (method) {
+    case Method::kProposed:
+      return "Proposed";
+    case Method::kGiRandom:
+      return "GI-Random";
+    case Method::kGiFix:
+      return "GI-Fix";
+    case Method::kGiSelect:
+      return "GI-Select";
+    case Method::kDiscord:
+      return "Discord";
+  }
+  return "Unknown";
+}
+
+std::unique_ptr<core::AnomalyDetector> MakeMethod(Method method,
+                                                  const MethodConfig& config) {
+  switch (method) {
+    case Method::kProposed: {
+      core::EnsembleParams p;
+      p.wmax = config.wmax;
+      p.amax = config.amax;
+      p.ensemble_size = config.ensemble_size;
+      p.selectivity = config.selectivity;
+      p.seed = config.seed;
+      return std::make_unique<core::EnsembleGiDetector>(p);
+    }
+    case Method::kGiRandom:
+      return std::make_unique<core::RandomGiDetector>(config.wmax, config.amax,
+                                                      config.seed);
+    case Method::kGiFix:
+      return std::make_unique<core::FixedGiDetector>(4, 4);
+    case Method::kGiSelect:
+      return std::make_unique<core::SelectGiDetector>(config.wmax,
+                                                      config.amax, 0.1);
+    case Method::kDiscord:
+      return std::make_unique<core::DiscordDetector>(config.discord_threads);
+  }
+  EGI_CHECK(false) << "unknown method";
+  return nullptr;
+}
+
+}  // namespace egi::eval

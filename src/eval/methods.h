@@ -1,0 +1,46 @@
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string_view>
+
+#include "core/detector.h"
+
+namespace egi::eval {
+
+/// The five methods compared in the paper's Section 7.1.3.
+enum class Method {
+  kProposed,   ///< ensemble grammar induction (Algorithm 1)
+  kGiRandom,   ///< single GI run, random (w, a) per series
+  kGiFix,      ///< single GI run, w = 4, a = 4
+  kGiSelect,   ///< single GI run, (w, a) from MDL grid search on 10% prefix
+  kDiscord,    ///< STOMP matrix profile discords
+};
+
+inline constexpr std::array<Method, 5> kAllMethods = {
+    Method::kProposed, Method::kGiRandom, Method::kGiFix, Method::kGiSelect,
+    Method::kDiscord,
+};
+
+inline constexpr std::array<Method, 3> kGiBaselines = {
+    Method::kGiRandom, Method::kGiFix, Method::kGiSelect,
+};
+
+std::string_view MethodName(Method method);
+
+/// Knobs shared by the GI-based methods; defaults are the paper's settings
+/// (amax = wmax = 10, N = 50, tau = 40%).
+struct MethodConfig {
+  int wmax = 10;
+  int amax = 10;
+  int ensemble_size = 50;
+  double selectivity = 0.4;
+  uint64_t seed = 42;
+  int discord_threads = 1;
+};
+
+/// Builds a configured detector for one of the paper's methods.
+std::unique_ptr<core::AnomalyDetector> MakeMethod(
+    Method method, const MethodConfig& config = MethodConfig{});
+
+}  // namespace egi::eval

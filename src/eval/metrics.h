@@ -1,0 +1,44 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/anomaly.h"
+#include "ts/window.h"
+
+namespace egi::eval {
+
+/// The paper's Score (Eq. 5):
+///   Score = 1 - min(1, |predict - gt_position| / gt_length).
+/// 1 at an exact match, decaying linearly to 0 at one ground-truth length of
+/// displacement.
+double ScoreEq5(size_t predict_position, size_t gt_position, size_t gt_length);
+
+/// Best Score among candidates (the paper keeps the max over the top-3).
+/// Returns 0 when `candidates` is empty.
+double BestScore(std::span<const core::Anomaly> candidates,
+                 const ts::Window& ground_truth);
+
+/// A "hit" is Score > 0 for at least one candidate.
+bool IsHit(std::span<const core::Anomaly> candidates,
+           const ts::Window& ground_truth);
+
+/// Win/tie/loss tallies of the proposed method against a baseline.
+struct WinTieLoss {
+  int wins = 0;
+  int ties = 0;
+  int losses = 0;
+
+  void Add(double proposed_score, double baseline_score, double eps = 1e-12);
+  std::string ToString() const;  ///< "w/t/l" as printed in the paper's tables
+};
+
+/// Per-method aggregate over a set of evaluation series.
+struct MethodAggregate {
+  std::vector<double> scores;  ///< best-of-top-3 Score per series
+  double AverageScore() const;
+  double HitRate() const;  ///< fraction of series with Score > 0
+};
+
+}  // namespace egi::eval

@@ -1,0 +1,52 @@
+#include "grammar/density.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace egi::grammar {
+
+std::vector<double> BuildRuleDensityCurve(const Grammar& grammar,
+                                          std::span<const size_t> offsets,
+                                          size_t series_length,
+                                          size_t window_length,
+                                          bool normalize_by_coverage) {
+  EGI_CHECK(offsets.size() == grammar.input_length)
+      << "offsets (" << offsets.size() << ") must match grammar input length ("
+      << grammar.input_length << ")";
+  EGI_CHECK(window_length >= 1 && window_length <= series_length);
+
+  std::vector<int64_t> diff(series_length + 1, 0);
+  for (const auto& rule : grammar.rules) {
+    const size_t e = rule.expansion_length;
+    EGI_DCHECK(e >= 1);
+    for (size_t p : rule.occurrences) {
+      EGI_DCHECK(p + e <= offsets.size());
+      const size_t start = offsets[p];
+      const size_t end =
+          std::min(series_length - 1, offsets[p + e - 1] + window_length - 1);
+      EGI_DCHECK(start <= end);
+      diff[start] += 1;
+      diff[end + 1] -= 1;
+    }
+  }
+
+  std::vector<double> density(series_length);
+  int64_t running = 0;
+  const size_t last_start = series_length - window_length;
+  for (size_t t = 0; t < series_length; ++t) {
+    running += diff[t];
+    EGI_DCHECK(running >= 0);
+    density[t] = static_cast<double>(running);
+    if (normalize_by_coverage) {
+      // Number of sliding-window start positions p with p <= t <= p+n-1.
+      const size_t lo = t >= window_length - 1 ? t - (window_length - 1) : 0;
+      const size_t hi = std::min(t, last_start);
+      const double coverage = static_cast<double>(hi - lo + 1);
+      density[t] /= coverage;
+    }
+  }
+  return density;
+}
+
+}  // namespace egi::grammar

@@ -1,0 +1,114 @@
+#include "grammar/grammar.h"
+
+#include <functional>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace egi::grammar {
+
+size_t Grammar::TotalRhsSymbols() const {
+  size_t total = root.size();
+  for (const auto& r : rules) total += r.rhs.size();
+  return total;
+}
+
+namespace {
+
+void ExpandInto(const Grammar& g, std::span<const SymbolId> syms,
+                std::vector<SymbolId>* out) {
+  for (SymbolId s : syms) {
+    if (IsRuleSym(s)) {
+      const size_t k = RuleIndexOf(s);
+      EGI_CHECK(k < g.rules.size()) << "dangling rule reference";
+      ExpandInto(g, g.rules[k].rhs, out);
+    } else {
+      out->push_back(s);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<SymbolId> Grammar::ExpandRoot() const {
+  std::vector<SymbolId> out;
+  out.reserve(input_length);
+  ExpandInto(*this, root, &out);
+  return out;
+}
+
+std::vector<SymbolId> Grammar::ExpandRule(size_t rule_index) const {
+  EGI_CHECK(rule_index < rules.size());
+  std::vector<SymbolId> out;
+  ExpandInto(*this, rules[rule_index].rhs, &out);
+  return out;
+}
+
+Status Grammar::Validate() const {
+  for (size_t k = 0; k < rules.size(); ++k) {
+    const auto& r = rules[k];
+    if (r.rhs.size() < 2) {
+      return Status::Internal("rule R" + std::to_string(k + 1) +
+                              " has fewer than 2 symbols");
+    }
+    if (r.usage < 2) {
+      return Status::Internal("rule utility violated: R" +
+                              std::to_string(k + 1) + " used " +
+                              std::to_string(r.usage) + " time(s)");
+    }
+    const auto expanded = ExpandRule(k);
+    if (expanded.size() != r.expansion_length) {
+      return Status::Internal("expansion length mismatch for R" +
+                              std::to_string(k + 1));
+    }
+    for (size_t i = 1; i < r.occurrences.size(); ++i) {
+      if (r.occurrences[i - 1] >= r.occurrences[i]) {
+        return Status::Internal("occurrences not strictly increasing for R" +
+                                std::to_string(k + 1));
+      }
+    }
+    for (size_t occ : r.occurrences) {
+      if (occ + r.expansion_length > input_length) {
+        return Status::Internal("occurrence out of range for R" +
+                                std::to_string(k + 1));
+      }
+    }
+    if (static_cast<int>(r.occurrences.size()) < r.usage) {
+      return Status::Internal("fewer occurrences than static usages for R" +
+                              std::to_string(k + 1));
+    }
+  }
+  if (ExpandRoot().size() != input_length) {
+    return Status::Internal("root does not expand to the input length");
+  }
+  return Status::OK();
+}
+
+std::string Grammar::ToString(
+    const std::function<std::string(SymbolId)>& render_terminal) const {
+  std::ostringstream os;
+  auto render = [&](std::span<const SymbolId> syms) {
+    for (size_t i = 0; i < syms.size(); ++i) {
+      if (i) os << ' ';
+      if (IsRuleSym(syms[i])) {
+        os << 'R' << (RuleIndexOf(syms[i]) + 1);
+      } else if (render_terminal) {
+        os << render_terminal(syms[i]);
+      } else {
+        os << syms[i];
+      }
+    }
+  };
+  os << "R0 -> ";
+  render(root);
+  os << '\n';
+  for (size_t k = 0; k < rules.size(); ++k) {
+    os << 'R' << (k + 1) << " -> ";
+    render(rules[k].rhs);
+    os << "   (usage=" << rules[k].usage
+       << ", occurrences=" << rules[k].occurrences.size() << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace egi::grammar

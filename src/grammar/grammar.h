@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace egi::grammar {
+
+/// Symbols in a grammar right-hand side: non-negative values are terminal
+/// token ids (as produced by the SAX token table); negative values encode
+/// references to rules (R1, R2, ... in the paper's notation).
+using SymbolId = int32_t;
+
+constexpr bool IsRuleSym(SymbolId s) { return s < 0; }
+
+/// Rule index (0-based into Grammar::rules) encoded by a rule symbol.
+constexpr size_t RuleIndexOf(SymbolId s) {
+  return static_cast<size_t>(-(s + 1));
+}
+
+/// Symbol encoding a reference to Grammar::rules[index].
+constexpr SymbolId MakeRuleSym(size_t index) {
+  return static_cast<SymbolId>(-(static_cast<int64_t>(index) + 1));
+}
+
+/// One induced grammar rule (a repeating string of tokens; a "non-terminal").
+struct GrammarRule {
+  /// Right-hand side: terminals and references to other rules.
+  std::vector<SymbolId> rhs;
+  /// Number of terminals the rule expands to.
+  size_t expansion_length = 0;
+  /// Static reference count (times the rule appears in other RHSs/root).
+  /// Sequitur's rule-utility principle keeps this >= 2.
+  int usage = 0;
+  /// Start positions (token index in the input sequence) of every dynamic
+  /// instance of this rule, i.e. every occurrence reachable by expanding the
+  /// root. occurrences.size() >= usage when rules are nested in reused rules.
+  std::vector<size_t> occurrences;
+};
+
+/// The grammar artifact extracted from a Sequitur run: R0 (`root`) plus the
+/// numbered rules, with occurrence and expansion metadata used by the rule
+/// density curve.
+struct Grammar {
+  std::vector<SymbolId> root;
+  std::vector<GrammarRule> rules;
+  /// Number of tokens that were fed to the builder.
+  size_t input_length = 0;
+
+  /// Grammar description length in symbols: |root| + sum of |rhs|.
+  /// Used by the GI-Select baseline's MDL objective.
+  size_t TotalRhsSymbols() const;
+
+  /// Fully expands the root back into the terminal sequence. Must equal the
+  /// original input (validated by property tests).
+  std::vector<SymbolId> ExpandRoot() const;
+
+  /// Fully expands one rule into terminals.
+  std::vector<SymbolId> ExpandRule(size_t rule_index) const;
+
+  /// Verifies structural invariants: rule utility (usage >= 2), consistent
+  /// expansion lengths, occurrences sorted and in range, and root expansion
+  /// length equal to input_length.
+  Status Validate() const;
+
+  /// Renders the grammar in the paper's "R0 -> R1 x R1" style for debugging
+  /// and the examples. `render_terminal` may be null (ids printed).
+  std::string ToString(
+      const std::function<std::string(SymbolId)>& render_terminal) const;
+};
+
+}  // namespace egi::grammar

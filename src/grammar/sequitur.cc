@@ -1,0 +1,346 @@
+#include "grammar/sequitur.h"
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "util/check.h"
+
+namespace egi::grammar {
+
+namespace {
+
+struct RuleImpl;
+
+// One symbol in the mutable grammar: a node in a circular doubly-linked list
+// whose sentinel is the owning rule's guard node.
+struct Node {
+  Node* prev = nullptr;
+  Node* next = nullptr;
+  int32_t terminal = 0;        // valid when rule == nullptr && !guard
+  RuleImpl* rule = nullptr;    // referenced rule (non-terminal) or owner (guard)
+  bool guard = false;
+};
+
+struct RuleImpl {
+  Node* guard_node = nullptr;
+  int refcount = 0;
+  bool alive = true;
+  size_t uid = 0;  // creation index; never reused, keys digram entries
+};
+
+// Digram key: identity of two adjacent symbols. Terminals map to their token
+// id, non-terminals to -(uid+1); uids are unique for the lifetime of the
+// builder, so dead rules can never alias live digram entries.
+struct DigramKey {
+  int64_t a = 0;
+  int64_t b = 0;
+  bool operator==(const DigramKey&) const = default;
+};
+
+struct DigramKeyHash {
+  size_t operator()(const DigramKey& k) const {
+    uint64_t h = static_cast<uint64_t>(k.a) * 0x9E3779B97F4A7C15ULL;
+    h ^= static_cast<uint64_t>(k.b) + 0x9E3779B97F4A7C15ULL + (h << 6) +
+         (h >> 2);
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace
+
+struct SequiturBuilder::Impl {
+  std::deque<Node> node_arena;
+  std::vector<Node*> free_nodes;
+  std::deque<RuleImpl> rule_arena;
+  std::unordered_map<DigramKey, Node*, DigramKeyHash> digrams;
+  RuleImpl* root = nullptr;
+  size_t appended = 0;
+
+  Impl() { root = NewRule(); }
+
+  Node* NewNode() {
+    if (!free_nodes.empty()) {
+      Node* n = free_nodes.back();
+      free_nodes.pop_back();
+      *n = Node{};
+      return n;
+    }
+    node_arena.emplace_back();
+    return &node_arena.back();
+  }
+
+  void FreeNode(Node* n) { free_nodes.push_back(n); }
+
+  RuleImpl* NewRule() {
+    rule_arena.emplace_back();
+    RuleImpl* r = &rule_arena.back();
+    r->uid = rule_arena.size() - 1;
+    Node* g = NewNode();
+    g->guard = true;
+    g->rule = r;
+    g->prev = g;
+    g->next = g;
+    r->guard_node = g;
+    return r;
+  }
+
+  static bool IsGuard(const Node* n) { return n->guard; }
+  static bool IsNonTerminal(const Node* n) {
+    return !n->guard && n->rule != nullptr;
+  }
+
+  static int64_t SymIdentity(const Node* n) {
+    EGI_DCHECK(!n->guard);
+    if (n->rule != nullptr)
+      return -static_cast<int64_t>(n->rule->uid) - 1;
+    return n->terminal;
+  }
+
+  DigramKey KeyOf(const Node* first) const {
+    return DigramKey{SymIdentity(first), SymIdentity(first->next)};
+  }
+
+  // Removes the digram table entry for (first, first->next) if it points at
+  // this exact occurrence.
+  void DeleteDigram(Node* first) {
+    if (IsGuard(first) || IsGuard(first->next)) return;
+    auto it = digrams.find(KeyOf(first));
+    if (it != digrams.end() && it->second == first) digrams.erase(it);
+  }
+
+  // Links left -> right, unregistering left's old outgoing digram.
+  void Join(Node* left, Node* right) {
+    if (left->next != nullptr) DeleteDigram(left);
+    left->next = right;
+    right->prev = left;
+  }
+
+  void InsertAfter(Node* pos, Node* fresh) {
+    Join(fresh, pos->next);
+    Join(pos, fresh);
+  }
+
+  // Unlinks and frees one symbol node, maintaining digram entries and rule
+  // reference counts (canonical Symbol destructor).
+  void DeleteSymbol(Node* s) {
+    EGI_DCHECK(!IsGuard(s));
+    Join(s->prev, s->next);
+    DeleteDigram(s);  // s->next still references the old neighbour here
+    if (IsNonTerminal(s)) s->rule->refcount--;
+    FreeNode(s);
+  }
+
+  // Canonical check(): examines digram (s, s->next); indexes it when new,
+  // triggers Match when it repeats. Returns true when the digram was already
+  // known (a structural change happened or the occurrences overlap).
+  bool Check(Node* s) {
+    if (IsGuard(s) || IsGuard(s->next)) return false;
+    const DigramKey key = KeyOf(s);
+    auto it = digrams.find(key);
+    if (it == digrams.end()) {
+      digrams.emplace(key, s);
+      return false;
+    }
+    Node* found = it->second;
+    if (found == s) return false;
+    // Overlapping occurrences (e.g. "aaa") are left alone, as in canonical
+    // Sequitur; non-overlapping repeats trigger rule creation/reuse.
+    if (found->next != s) Match(s, found);
+    return true;
+  }
+
+  // Copies the symbol payload of `src` into a fresh node (for rule bodies).
+  Node* CopyPayload(const Node* src) {
+    Node* n = NewNode();
+    if (src->rule != nullptr) {
+      n->rule = src->rule;
+      n->rule->refcount++;
+    } else {
+      n->terminal = src->terminal;
+    }
+    return n;
+  }
+
+  // Replaces the digram starting at `first` with a reference to rule `r`
+  // (canonical substitute), then re-checks the two new junctions.
+  void Substitute(Node* first, RuleImpl* r) {
+    Node* q = first->prev;
+    DeleteSymbol(first->next);
+    DeleteSymbol(first);
+    Node* nn = NewNode();
+    nn->rule = r;
+    r->refcount++;
+    InsertAfter(q, nn);
+    if (!Check(q)) Check(nn);
+  }
+
+  // Handles a repeated digram: `ss` is the fresh occurrence, `m` the indexed
+  // one. Either reuses the rule whose whole body is the digram, or creates a
+  // new rule; then enforces rule utility (canonical match()).
+  void Match(Node* ss, Node* m) {
+    RuleImpl* r;
+    if (IsGuard(m->prev) && IsGuard(m->next->next)) {
+      // The indexed occurrence is the complete body of an existing rule.
+      r = m->prev->rule;
+      Substitute(ss, r);
+    } else {
+      r = NewRule();
+      // Build the rule body from copies of the digram BEFORE substituting
+      // (substitution frees ss and its neighbour).
+      Node* c1 = CopyPayload(ss);
+      Node* c2 = CopyPayload(ss->next);
+      Node* g = r->guard_node;
+      // Manual linking: body digram registration happens once, below.
+      g->next = c1;
+      c1->prev = g;
+      c1->next = c2;
+      c2->prev = c1;
+      c2->next = g;
+      g->prev = c2;
+      Substitute(m, r);
+      Substitute(ss, r);
+      digrams[KeyOf(c1)] = c1;
+    }
+    // Rule utility: if the first body symbol references a rule now used only
+    // once, inline it (canonical checks exactly this position — the only one
+    // whose count can have dropped to 1 here).
+    Node* f = r->guard_node->next;
+    if (IsNonTerminal(f) && f->rule->refcount == 1) Expand(f);
+  }
+
+  // Inlines the single remaining usage `use` of its referenced rule
+  // (canonical expand): splices the child body in place of the reference.
+  void Expand(Node* use) {
+    RuleImpl* child = use->rule;
+    EGI_DCHECK(child->refcount == 1);
+    Node* left = use->prev;
+    Node* right = use->next;
+    Node* first = child->guard_node->next;
+    Node* last = child->guard_node->prev;
+    EGI_DCHECK(!IsGuard(first)) << "expanding an empty rule";
+
+    DeleteDigram(left);  // (left, use); no-op when left is the guard
+    DeleteDigram(use);   // (use, right)
+
+    left->next = first;
+    first->prev = left;
+    last->next = right;
+    right->prev = last;
+
+    FreeNode(use);
+    child->alive = false;
+    FreeNode(child->guard_node);
+    child->guard_node = nullptr;
+
+    // Index the new boundary digram (canonical behaviour: overwrite).
+    if (!IsGuard(last) && !IsGuard(right)) digrams[KeyOf(last)] = last;
+    if (!IsGuard(left) && !IsGuard(first)) digrams[KeyOf(left)] = left;
+  }
+
+  void Append(int32_t token) {
+    EGI_CHECK(token >= 0) << "terminal tokens must be non-negative";
+    Node* t = NewNode();
+    t->terminal = token;
+    InsertAfter(root->guard_node->prev, t);
+    Check(t->prev);
+    ++appended;
+  }
+};
+
+SequiturBuilder::SequiturBuilder() : impl_(std::make_unique<Impl>()) {}
+SequiturBuilder::~SequiturBuilder() = default;
+SequiturBuilder::SequiturBuilder(SequiturBuilder&&) noexcept = default;
+SequiturBuilder& SequiturBuilder::operator=(SequiturBuilder&&) noexcept =
+    default;
+
+void SequiturBuilder::Append(int32_t token) { impl_->Append(token); }
+
+void SequiturBuilder::AppendAll(std::span<const int32_t> tokens) {
+  for (int32_t t : tokens) impl_->Append(t);
+}
+
+size_t SequiturBuilder::num_appended() const { return impl_->appended; }
+
+Grammar SequiturBuilder::Build() const {
+  Grammar g;
+  g.input_length = impl_->appended;
+
+  // Compact alive rules (excluding the root) in creation order: R1, R2, ...
+  std::unordered_map<const RuleImpl*, size_t> index;
+  for (const RuleImpl& r : impl_->rule_arena) {
+    if (!r.alive || &r == impl_->root) continue;
+    index.emplace(&r, g.rules.size());
+    g.rules.emplace_back();
+  }
+
+  auto extract_rhs = [&](const RuleImpl& r) {
+    std::vector<SymbolId> rhs;
+    for (Node* n = r.guard_node->next; !Impl::IsGuard(n); n = n->next) {
+      if (n->rule != nullptr) {
+        auto it = index.find(n->rule);
+        EGI_CHECK(it != index.end()) << "reference to dead rule";
+        rhs.push_back(MakeRuleSym(it->second));
+      } else {
+        rhs.push_back(n->terminal);
+      }
+    }
+    return rhs;
+  };
+
+  g.root = extract_rhs(*impl_->root);
+  {
+    size_t k = 0;
+    for (const RuleImpl& r : impl_->rule_arena) {
+      if (!r.alive || &r == impl_->root) continue;
+      g.rules[k].rhs = extract_rhs(r);
+      g.rules[k].usage = r.refcount;
+      ++k;
+    }
+  }
+
+  // Expansion lengths by memoized depth-first traversal. Rule nesting depth
+  // is logarithmic for realistic inputs; recursion is safe here.
+  std::vector<int> state(g.rules.size(), 0);  // 0=unvisited 1=visiting 2=done
+  auto expansion = [&](auto&& self, size_t k) -> size_t {
+    EGI_CHECK(state[k] != 1) << "cycle in grammar";
+    if (state[k] == 2) return g.rules[k].expansion_length;
+    state[k] = 1;
+    size_t len = 0;
+    for (SymbolId s : g.rules[k].rhs)
+      len += IsRuleSym(s) ? self(self, RuleIndexOf(s)) : 1;
+    g.rules[k].expansion_length = len;
+    state[k] = 2;
+    return len;
+  };
+  for (size_t k = 0; k < g.rules.size(); ++k) expansion(expansion, k);
+
+  // Dynamic occurrences: walk the derivation tree from the root once.
+  auto walk = [&](auto&& self, std::span<const SymbolId> syms,
+                  size_t pos) -> size_t {
+    for (SymbolId s : syms) {
+      if (IsRuleSym(s)) {
+        const size_t k = RuleIndexOf(s);
+        g.rules[k].occurrences.push_back(pos);
+        self(self, g.rules[k].rhs, pos);
+        pos += g.rules[k].expansion_length;
+      } else {
+        pos += 1;
+      }
+    }
+    return pos;
+  };
+  const size_t total = walk(walk, g.root, 0);
+  EGI_CHECK(total == g.input_length)
+      << "grammar expansion length " << total << " != input length "
+      << g.input_length;
+  return g;
+}
+
+Grammar InduceGrammar(std::span<const int32_t> tokens) {
+  SequiturBuilder builder;
+  builder.AppendAll(tokens);
+  return builder.Build();
+}
+
+}  // namespace egi::grammar

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "grammar/grammar.h"
+
+namespace egi::grammar {
+
+/// Online Sequitur grammar induction (Nevill-Manning & Witten 1997; paper
+/// Section 5.1). Tokens are appended one at a time; the builder maintains
+/// the two Sequitur invariants incrementally in amortized O(1) per token:
+///
+///  * digram uniqueness — no pair of adjacent symbols appears more than once
+///    in the grammar (a repeat triggers rule creation or reuse);
+///  * rule utility — a rule referenced only once is inlined and removed.
+///
+/// This is a faithful port of the canonical linked-list + digram-index
+/// implementation; the paper's worked example (Table 2) is reproduced
+/// exactly in tests. Call Build() at any point to extract an immutable
+/// Grammar artifact (the builder remains usable afterwards).
+class SequiturBuilder {
+ public:
+  SequiturBuilder();
+  ~SequiturBuilder();
+
+  SequiturBuilder(const SequiturBuilder&) = delete;
+  SequiturBuilder& operator=(const SequiturBuilder&) = delete;
+  SequiturBuilder(SequiturBuilder&&) noexcept;
+  SequiturBuilder& operator=(SequiturBuilder&&) noexcept;
+
+  /// Appends one terminal token (must be >= 0) and restores the invariants.
+  void Append(int32_t token);
+
+  /// Appends a whole sequence.
+  void AppendAll(std::span<const int32_t> tokens);
+
+  /// Number of tokens appended so far.
+  size_t num_appended() const;
+
+  /// Extracts the grammar artifact: compacted rules in creation order with
+  /// usage counts, expansion lengths, and all dynamic occurrences.
+  Grammar Build() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Convenience one-shot induction.
+Grammar InduceGrammar(std::span<const int32_t> tokens);
+
+}  // namespace egi::grammar

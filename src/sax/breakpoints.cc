@@ -1,0 +1,116 @@
+#include "sax/breakpoints.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sax/normal_quantile.h"
+#include "util/check.h"
+
+namespace egi::sax {
+
+namespace {
+
+double NormalPdf(double x) {
+  return std::exp(-0.5 * x * x) / std::sqrt(2.0 * M_PI);
+}
+
+double NormalCdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+}  // namespace
+
+std::vector<double> GaussianBreakpoints(int alphabet_size) {
+  EGI_CHECK(alphabet_size >= kMinAlphabetSize &&
+            alphabet_size <= kMaxAlphabetSize)
+      << "alphabet size " << alphabet_size << " out of range";
+  std::vector<double> bps(static_cast<size_t>(alphabet_size) - 1);
+  for (int i = 1; i < alphabet_size; ++i) {
+    bps[static_cast<size_t>(i) - 1] =
+        InverseNormalCdf(static_cast<double>(i) /
+                         static_cast<double>(alphabet_size));
+  }
+  return bps;
+}
+
+int SymbolForValue(double value, std::span<const double> breakpoints) {
+  auto it = std::upper_bound(breakpoints.begin(), breakpoints.end(), value);
+  return static_cast<int>(it - breakpoints.begin());
+}
+
+char SymbolToChar(int symbol) {
+  EGI_DCHECK(symbol >= 0 && symbol < kMaxAlphabetSize);
+  return static_cast<char>('a' + symbol);
+}
+
+std::vector<double> GaussianRegionCentroids(int alphabet_size) {
+  const auto bps = GaussianBreakpoints(alphabet_size);
+  std::vector<double> centroids(static_cast<size_t>(alphabet_size));
+  for (int i = 0; i < alphabet_size; ++i) {
+    // Region i spans (lo, hi] with phi/Phi at infinity handled as 0/1.
+    const bool first = (i == 0);
+    const bool last = (i == alphabet_size - 1);
+    const double lo = first ? 0.0 : NormalPdf(bps[static_cast<size_t>(i) - 1]);
+    const double hi = last ? 0.0 : NormalPdf(bps[static_cast<size_t>(i)]);
+    const double p_lo =
+        first ? 0.0 : NormalCdf(bps[static_cast<size_t>(i) - 1]);
+    const double p_hi = last ? 1.0 : NormalCdf(bps[static_cast<size_t>(i)]);
+    // E[X | lo < X <= hi] = (pdf(lo) - pdf(hi)) / (cdf(hi) - cdf(lo)).
+    centroids[static_cast<size_t>(i)] = (lo - hi) / (p_hi - p_lo);
+  }
+  return centroids;
+}
+
+BreakpointSummary::BreakpointSummary(int amax) : amax_(amax) {
+  EGI_CHECK(amax >= kMinAlphabetSize && amax <= kMaxAlphabetSize)
+      << "amax " << amax << " out of range";
+
+  // Merge all breakpoints. Identical quantile probabilities produce
+  // bit-identical doubles (i/a is correctly rounded, and InverseNormalCdf is
+  // deterministic), so exact dedup is sufficient.
+  for (int a = kMinAlphabetSize; a <= amax; ++a) {
+    auto bps = GaussianBreakpoints(a);
+    merged_.insert(merged_.end(), bps.begin(), bps.end());
+  }
+  std::sort(merged_.begin(), merged_.end());
+  merged_.erase(std::unique(merged_.begin(), merged_.end()), merged_.end());
+
+  // For each interval, resolve the symbol under every alphabet size using a
+  // representative point strictly inside the interval.
+  const size_t intervals = merged_.size() + 1;
+  const size_t alphabets = static_cast<size_t>(amax_) - 1;
+  symbols_.resize(intervals * alphabets);
+  for (size_t j = 0; j < intervals; ++j) {
+    double rep;
+    if (j == 0) {
+      rep = merged_.front() - 1.0;
+    } else if (j == merged_.size()) {
+      rep = merged_.back() + 1.0;
+    } else {
+      rep = 0.5 * (merged_[j - 1] + merged_[j]);
+      // Guard against midpoint rounding onto a boundary for very tight
+      // intervals: fall back to the left edge, which is inside [lo, hi).
+      if (rep <= merged_[j - 1] || rep >= merged_[j]) rep = merged_[j - 1];
+    }
+    for (int a = kMinAlphabetSize; a <= amax_; ++a) {
+      auto bps = GaussianBreakpoints(a);
+      int sym = SymbolForValue(rep, bps);
+      // Intervals must be pure: representative's symbol is the interval's
+      // symbol because all breakpoints of all sizes are on the merged axis.
+      symbols_[j * alphabets + static_cast<size_t>(a - 2)] =
+          static_cast<uint8_t>(sym);
+    }
+  }
+}
+
+size_t BreakpointSummary::IntervalForValue(double value) const {
+  auto it = std::upper_bound(merged_.begin(), merged_.end(), value);
+  return static_cast<size_t>(it - merged_.begin());
+}
+
+int BreakpointSummary::SymbolOfInterval(size_t interval, int a) const {
+  EGI_DCHECK(interval < num_intervals());
+  EGI_DCHECK(a >= kMinAlphabetSize && a <= amax_);
+  const size_t alphabets = static_cast<size_t>(amax_) - 1;
+  return symbols_[interval * alphabets + static_cast<size_t>(a - 2)];
+}
+
+}  // namespace egi::sax

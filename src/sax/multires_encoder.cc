@@ -1,0 +1,96 @@
+#include "sax/multires_encoder.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "util/check.h"
+
+namespace egi::sax {
+
+MultiResSaxEncoder::MultiResSaxEncoder(std::span<const double> series,
+                                       size_t window_length, int amax,
+                                       double norm_threshold,
+                                       bool numerosity_reduction)
+    : window_length_(window_length),
+      norm_threshold_(norm_threshold),
+      numerosity_reduction_(numerosity_reduction),
+      stats_(series),
+      summary_(amax) {}
+
+Result<DiscretizedSeries> MultiResSaxEncoder::Encode(int paa_size,
+                                                     int alphabet_size) const {
+  const WaParam p{paa_size, alphabet_size};
+  EGI_ASSIGN_OR_RETURN(auto all, EncodeAll(std::span<const WaParam>(&p, 1)));
+  return std::move(all[0]);
+}
+
+Result<std::vector<DiscretizedSeries>> MultiResSaxEncoder::EncodeAll(
+    std::span<const WaParam> params) const {
+  // Validate every request up front.
+  for (const auto& p : params) {
+    SaxParams sp;
+    sp.window_length = window_length_;
+    sp.paa_size = p.paa_size;
+    sp.alphabet_size = p.alphabet_size;
+    sp.norm_threshold = norm_threshold_;
+    EGI_RETURN_IF_ERROR(ValidateSaxParams(stats_.size(), sp));
+    if (p.alphabet_size > summary_.amax()) {
+      return Status::InvalidArgument(
+          "alphabet size " + std::to_string(p.alphabet_size) +
+          " exceeds encoder amax " + std::to_string(summary_.amax()));
+    }
+  }
+
+  std::vector<DiscretizedSeries> results(params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    results[i].series_length = stats_.size();
+    results[i].window_length = window_length_;
+    results[i].paa_size = params[i].paa_size;
+    results[i].alphabet_size = params[i].alphabet_size;
+  }
+
+  // Group requests by w so PAA is computed once per distinct w.
+  std::map<int, std::vector<size_t>> by_w;
+  for (size_t i = 0; i < params.size(); ++i)
+    by_w[params[i].paa_size].push_back(i);
+
+  const FastPaa fast_paa(&stats_, norm_threshold_);
+  const size_t positions = stats_.size() - window_length_ + 1;
+
+  std::vector<double> coeffs;
+  std::vector<size_t> intervals;
+  std::string word;
+  std::vector<std::string> last_words(params.size());
+
+  for (const auto& [w, request_indices] : by_w) {
+    const auto uw = static_cast<size_t>(w);
+    coeffs.resize(uw);
+    intervals.resize(uw);
+    for (auto& lw : last_words) lw.clear();
+
+    for (size_t pos = 0; pos < positions; ++pos) {
+      fast_paa.Compute(pos, window_length_, w, coeffs);
+      // One binary search per coefficient resolves all alphabet sizes.
+      for (size_t i = 0; i < uw; ++i)
+        intervals[i] = summary_.IntervalForValue(coeffs[i]);
+
+      for (size_t ri : request_indices) {
+        const int a = params[ri].alphabet_size;
+        word.resize(uw);
+        for (size_t i = 0; i < uw; ++i)
+          word[i] = SymbolToChar(summary_.SymbolOfInterval(intervals[i], a));
+        if (numerosity_reduction_ && !results[ri].seq.tokens.empty() &&
+            word == last_words[ri]) {
+          continue;
+        }
+        results[ri].seq.tokens.push_back(results[ri].table.Intern(word));
+        results[ri].seq.offsets.push_back(pos);
+        last_words[ri] = word;
+      }
+    }
+  }
+  return results;
+}
+
+}  // namespace egi::sax

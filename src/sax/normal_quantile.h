@@ -1,0 +1,18 @@
+#pragma once
+
+namespace egi::sax {
+
+/// Inverse CDF of the standard normal distribution (the quantile function).
+/// Used to build the Gaussian-equiprobable SAX breakpoint tables for any
+/// alphabet size, so the library is not limited to a hard-coded table.
+///
+/// Implementation: Acklam's rational approximation refined with one Halley
+/// step through std::erfc, giving ~1e-15 relative accuracy over (0, 1).
+/// InverseNormalCdf(0.5) returns exactly 0.0 (required so that breakpoint
+/// tables of different alphabet sizes share bit-identical common points,
+/// which the multi-resolution summary relies on).
+///
+/// Requires 0 < p < 1; aborts otherwise (programmer error).
+double InverseNormalCdf(double p);
+
+}  // namespace egi::sax

@@ -1,0 +1,103 @@
+#include "sax/sax_encoder.h"
+
+#include <string>
+#include <vector>
+
+#include "sax/breakpoints.h"
+#include "sax/fast_paa.h"
+#include "sax/paa.h"
+#include "ts/prefix_stats.h"
+
+namespace egi::sax {
+
+Status ValidateSeriesValues(std::span<const double> series) {
+  if (!ts::AllFinite(series)) {
+    return Status::InvalidArgument(
+        "series contains non-finite values (NaN or Inf)");
+  }
+  return Status::OK();
+}
+
+Status ValidateSaxParams(size_t series_length, const SaxParams& params) {
+  if (params.window_length < 2) {
+    return Status::InvalidArgument("window length must be >= 2, got " +
+                                   std::to_string(params.window_length));
+  }
+  if (params.window_length > series_length) {
+    return Status::InvalidArgument(
+        "window length " + std::to_string(params.window_length) +
+        " exceeds series length " + std::to_string(series_length));
+  }
+  if (params.paa_size < 1 ||
+      static_cast<size_t>(params.paa_size) > params.window_length) {
+    return Status::InvalidArgument("PAA size must be in [1, window], got " +
+                                   std::to_string(params.paa_size));
+  }
+  if (params.alphabet_size < kMinAlphabetSize ||
+      params.alphabet_size > kMaxAlphabetSize) {
+    return Status::InvalidArgument("alphabet size must be in [2, 64], got " +
+                                   std::to_string(params.alphabet_size));
+  }
+  if (params.norm_threshold < 0.0) {
+    return Status::InvalidArgument("normalization threshold must be >= 0");
+  }
+  return Status::OK();
+}
+
+Result<std::string> SaxWordForSubsequence(std::span<const double> values,
+                                          int paa_size, int alphabet_size,
+                                          double norm_threshold) {
+  SaxParams p;
+  p.window_length = values.size();
+  p.paa_size = paa_size;
+  p.alphabet_size = alphabet_size;
+  p.norm_threshold = norm_threshold;
+  EGI_RETURN_IF_ERROR(ValidateSaxParams(values.size(), p));
+
+  std::vector<double> coeffs(static_cast<size_t>(paa_size));
+  ZNormalizedPaa(values, paa_size, coeffs, norm_threshold);
+  const auto bps = GaussianBreakpoints(alphabet_size);
+  std::string word(static_cast<size_t>(paa_size), 'a');
+  for (size_t i = 0; i < coeffs.size(); ++i) {
+    word[i] = SymbolToChar(SymbolForValue(coeffs[i], bps));
+  }
+  return word;
+}
+
+Result<DiscretizedSeries> DiscretizeSeries(std::span<const double> series,
+                                           const SaxParams& params) {
+  EGI_RETURN_IF_ERROR(ValidateSeriesValues(series));
+  EGI_RETURN_IF_ERROR(ValidateSaxParams(series.size(), params));
+
+  DiscretizedSeries out;
+  out.series_length = series.size();
+  out.window_length = params.window_length;
+  out.paa_size = params.paa_size;
+  out.alphabet_size = params.alphabet_size;
+
+  const ts::PrefixStats stats(series);
+  const FastPaa fast_paa(&stats, params.norm_threshold);
+  const auto bps = GaussianBreakpoints(params.alphabet_size);
+
+  const size_t positions = series.size() - params.window_length + 1;
+  std::vector<double> coeffs(static_cast<size_t>(params.paa_size));
+  std::string word(static_cast<size_t>(params.paa_size), 'a');
+  std::string last_word;
+
+  for (size_t p = 0; p < positions; ++p) {
+    fast_paa.Compute(p, params.window_length, params.paa_size, coeffs);
+    for (size_t i = 0; i < coeffs.size(); ++i) {
+      word[i] = SymbolToChar(SymbolForValue(coeffs[i], bps));
+    }
+    if (params.numerosity_reduction && !out.seq.tokens.empty() &&
+        word == last_word) {
+      continue;
+    }
+    out.seq.tokens.push_back(out.table.Intern(word));
+    out.seq.offsets.push_back(p);
+    last_word = word;
+  }
+  return out;
+}
+
+}  // namespace egi::sax

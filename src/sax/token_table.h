@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/check.h"
+
+namespace egi::sax {
+
+/// Interns SAX words into dense non-negative token ids. Sequitur operates on
+/// integer tokens; this table keeps the id <-> word mapping so grammar rules
+/// can be rendered back into readable strings (e.g. for the examples).
+class TokenTable {
+ public:
+  /// Returns the id for `word`, creating one if unseen.
+  int32_t Intern(std::string_view word) {
+    auto it = ids_.find(word);
+    if (it != ids_.end()) return it->second;
+    const auto id = static_cast<int32_t>(words_.size());
+    words_.emplace_back(word);
+    ids_.emplace(words_.back(), id);
+    return id;
+  }
+
+  /// Id for `word`, or -1 if unseen.
+  int32_t Find(std::string_view word) const {
+    auto it = ids_.find(word);
+    return it == ids_.end() ? -1 : it->second;
+  }
+
+  /// Word for an existing id.
+  const std::string& Word(int32_t id) const {
+    EGI_CHECK(id >= 0 && static_cast<size_t>(id) < words_.size())
+        << "unknown token id " << id;
+    return words_[static_cast<size_t>(id)];
+  }
+
+  size_t size() const { return words_.size(); }
+
+ private:
+  // Heterogeneous lookup so Intern/Find take string_view without allocating
+  // on the hit path; map keys own their storage (words_ may reallocate and
+  // short strings use SSO, so views into words_ would dangle).
+  struct HashSv {
+    using is_transparent = void;
+    size_t operator()(std::string_view sv) const {
+      return std::hash<std::string_view>{}(sv);
+    }
+    size_t operator()(const std::string& s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct EqSv {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const {
+      return a == b;
+    }
+  };
+  std::vector<std::string> words_;
+  std::unordered_map<std::string, int32_t, HashSv, EqSv> ids_;
+};
+
+}  // namespace egi::sax

@@ -1,0 +1,112 @@
+#include "ts/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace egi::ts {
+
+namespace {
+
+// Neumaier variant of Kahan summation: robust for long power-usage series.
+double CompensatedSum(std::span<const double> values) {
+  double sum = 0.0, comp = 0.0;
+  for (double v : values) {
+    double t = sum + v;
+    if (std::abs(sum) >= std::abs(v)) {
+      comp += (sum - t) + v;
+    } else {
+      comp += (v - t) + sum;
+    }
+    sum = t;
+  }
+  return sum + comp;
+}
+
+}  // namespace
+
+bool AllFinite(std::span<const double> values) {
+  for (double v : values) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+double Mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  return CompensatedSum(values) / static_cast<double>(values.size());
+}
+
+double SampleVariance(std::span<const double> values) {
+  const size_t n = values.size();
+  if (n < 2) return 0.0;
+  const double mu = Mean(values);
+  double acc = 0.0;
+  for (double v : values) {
+    const double d = v - mu;
+    acc += d * d;
+  }
+  return acc / static_cast<double>(n - 1);
+}
+
+double SampleStdDev(std::span<const double> values) {
+  return std::sqrt(SampleVariance(values));
+}
+
+double PopulationStdDev(std::span<const double> values) {
+  const size_t n = values.size();
+  if (n == 0) return 0.0;
+  const double mu = Mean(values);
+  double acc = 0.0;
+  for (double v : values) {
+    const double d = v - mu;
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(n));
+}
+
+double Median(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  std::vector<double> copy(values.begin(), values.end());
+  const size_t mid = copy.size() / 2;
+  std::nth_element(copy.begin(), copy.begin() + static_cast<ptrdiff_t>(mid),
+                   copy.end());
+  double hi = copy[mid];
+  if (copy.size() % 2 == 1) return hi;
+  double lo =
+      *std::max_element(copy.begin(), copy.begin() + static_cast<ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
+}
+
+MinMax FindMinMax(std::span<const double> values) {
+  if (values.empty()) return {};
+  MinMax mm{values[0], values[0]};
+  for (double v : values) {
+    mm.min = std::min(mm.min, v);
+    mm.max = std::max(mm.max, v);
+  }
+  return mm;
+}
+
+void ZNormalize(std::span<const double> values, std::span<double> out,
+                double norm_threshold) {
+  EGI_CHECK(values.size() == out.size())
+      << "size mismatch: " << values.size() << " vs " << out.size();
+  const double mu = Mean(values);
+  const double sigma = SampleStdDev(values);
+  if (sigma < norm_threshold) {
+    std::fill(out.begin(), out.end(), 0.0);
+    return;
+  }
+  for (size_t i = 0; i < values.size(); ++i) out[i] = (values[i] - mu) / sigma;
+}
+
+std::vector<double> ZNormalized(std::span<const double> values,
+                                double norm_threshold) {
+  std::vector<double> out(values.size());
+  ZNormalize(values, out, norm_threshold);
+  return out;
+}
+
+}  // namespace egi::ts

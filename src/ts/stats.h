@@ -1,0 +1,53 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace egi::ts {
+
+/// Default standard-deviation threshold below which a subsequence is treated
+/// as flat during z-normalization (GrammarViz convention): flat windows map
+/// to the all-zero PAA vector instead of amplifying noise.
+inline constexpr double kDefaultNormThreshold = 0.01;
+
+/// True when every value is finite (no NaN/Inf). Public entry points reject
+/// non-finite series up front so degenerate values cannot silently corrupt
+/// prefix sums or breakpoint lookups.
+bool AllFinite(std::span<const double> values);
+
+/// Arithmetic mean (Neumaier-compensated). Returns 0 for empty input.
+double Mean(std::span<const double> values);
+
+/// Sample variance (n-1 denominator, matching Algorithm 2 of the paper).
+/// Returns 0 when fewer than two values.
+double SampleVariance(std::span<const double> values);
+
+/// Sample standard deviation (sqrt of SampleVariance).
+double SampleStdDev(std::span<const double> values);
+
+/// Population standard deviation (n denominator). Used for descriptive
+/// statistics of rule density curves where the curve is the full population.
+double PopulationStdDev(std::span<const double> values);
+
+/// Median (average of the two central order statistics for even sizes).
+/// Returns 0 for empty input. Does not modify the input.
+double Median(std::span<const double> values);
+
+/// Smallest and largest value; {0, 0} for empty input.
+struct MinMax {
+  double min = 0.0;
+  double max = 0.0;
+};
+MinMax FindMinMax(std::span<const double> values);
+
+/// Z-normalizes `values` into `out` (same length). When the sample standard
+/// deviation is below `norm_threshold`, the output is all zeros (flat
+/// window convention). `out` may alias `values`.
+void ZNormalize(std::span<const double> values, std::span<double> out,
+                double norm_threshold = kDefaultNormThreshold);
+
+/// Convenience copy-based z-normalization.
+std::vector<double> ZNormalized(std::span<const double> values,
+                                double norm_threshold = kDefaultNormThreshold);
+
+}  // namespace egi::ts

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+namespace egi::ts {
+
+/// A half-open [start, start+length) view into a time series; the common
+/// currency between detectors, scorers, and dataset builders.
+struct Window {
+  size_t start = 0;
+  size_t length = 0;
+
+  size_t end() const { return start + length; }
+
+  bool operator==(const Window&) const = default;
+};
+
+/// Number of sliding windows of length `n` over a series of length `len`
+/// (0 when the window does not fit).
+inline size_t NumSlidingWindows(size_t len, size_t n) {
+  return (n == 0 || n > len) ? 0 : len - n + 1;
+}
+
+/// True when the two windows share at least one sample.
+inline bool Overlaps(const Window& a, const Window& b) {
+  return a.start < b.end() && b.start < a.end();
+}
+
+/// Number of shared samples.
+inline size_t OverlapLength(const Window& a, const Window& b) {
+  const size_t lo = std::max(a.start, b.start);
+  const size_t hi = std::min(a.end(), b.end());
+  return hi > lo ? hi - lo : 0;
+}
+
+/// Intersection-over-union of two windows; 0 when disjoint.
+inline double WindowIoU(const Window& a, const Window& b) {
+  const size_t inter = OverlapLength(a, b);
+  if (inter == 0) return 0.0;
+  const size_t uni = a.length + b.length - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+}  // namespace egi::ts

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace egi::internal {
+
+/// Collects a message via `operator<<` and aborts on destruction. Used by the
+/// EGI_CHECK family; never instantiate directly.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* expr) {
+    stream_ << file << ":" << line << " CHECK failed: " << expr << " ";
+  }
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailure& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Swallows streamed-in diagnostics when a check is compiled out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace egi::internal
+
+/// Aborts with a streamed message when `cond` is false. For internal
+/// invariants and programmer errors only — anticipated failures return
+/// Status instead. Usage: EGI_CHECK(x > 0) << "x was " << x;
+#define EGI_CHECK(cond)                                        \
+  switch (0)                                                   \
+  case 0:                                                      \
+  default:                                                     \
+    if (cond)                                                  \
+      ;                                                        \
+    else                                                       \
+      ::egi::internal::CheckFailure(__FILE__, __LINE__, #cond)
+
+#define EGI_CHECK_OK(expr)                                     \
+  EGI_CHECK((expr).ok()) << (expr).ToString()
+
+#ifdef NDEBUG
+// `true || (cond)` keeps `cond` compiled (no unused-variable warnings) while
+// guaranteeing it is never evaluated in release builds.
+#define EGI_DCHECK(cond)                                       \
+  switch (0)                                                   \
+  case 0:                                                      \
+  default:                                                     \
+    if (true || (cond))                                        \
+      ;                                                        \
+    else                                                       \
+      ::egi::internal::CheckFailure(__FILE__, __LINE__, #cond)
+#else
+#define EGI_DCHECK(cond) EGI_CHECK(cond)
+#endif

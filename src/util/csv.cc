@@ -1,0 +1,40 @@
+#include "util/csv.h"
+
+#include <cstdio>
+
+namespace egi {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {}
+
+std::string CsvWriter::EscapeField(const std::string& field) {
+  bool needs_quote = field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << EscapeField(fields[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::WriteNumericRow(const std::vector<double>& values) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  char buf[32];
+  for (double v : values) {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    fields.emplace_back(buf);
+  }
+  WriteRow(fields);
+}
+
+}  // namespace egi

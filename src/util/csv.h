@@ -1,0 +1,34 @@
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace egi {
+
+/// Minimal CSV writer used by the benchmark harness to dump per-series data
+/// (e.g. the Figure 10 scatter points). Quotes fields containing commas,
+/// quotes, or newlines per RFC 4180.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; check `ok()` before use.
+  explicit CsvWriter(const std::string& path);
+
+  bool ok() const { return out_.good(); }
+
+  /// Writes one row; string fields are quoted as needed.
+  void WriteRow(const std::vector<std::string>& fields);
+
+  /// Convenience: formats doubles with %.6g.
+  void WriteNumericRow(const std::vector<double>& values);
+
+  /// Escapes a single field per RFC 4180 (exposed for testing).
+  static std::string EscapeField(const std::string& field);
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace egi

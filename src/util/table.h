@@ -1,0 +1,32 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace egi {
+
+/// Fixed-precision double formatting ("%.4f" style, trailing zeros kept) used
+/// so bench output visually matches the paper's tables.
+std::string FormatDouble(double value, int precision = 4);
+
+/// Aligned monospace table used by every bench binary to print the paper's
+/// tables. Column widths auto-fit; first column is left-aligned, the rest are
+/// right-aligned.
+class TextTable {
+ public:
+  explicit TextTable(std::string title = "") : title_(std::move(title)) {}
+
+  void SetHeader(std::vector<std::string> header) { header_ = std::move(header); }
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Renders the table (title, header, separator, rows).
+  void Print(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace egi

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "eval/experiment.h"
+#include "eval/methods.h"
+#include "eval/metrics.h"
+
+namespace egi::eval {
+namespace {
+
+// ------------------------------------------------------------- Score Eq. 5
+
+TEST(ScoreTest, ExactMatchScoresOne) {
+  EXPECT_DOUBLE_EQ(ScoreEq5(100, 100, 50), 1.0);
+}
+
+TEST(ScoreTest, LinearDecay) {
+  EXPECT_DOUBLE_EQ(ScoreEq5(110, 100, 50), 0.8);
+  EXPECT_DOUBLE_EQ(ScoreEq5(90, 100, 50), 0.8);   // symmetric
+  EXPECT_DOUBLE_EQ(ScoreEq5(125, 100, 50), 0.5);
+}
+
+TEST(ScoreTest, ZeroBeyondOneGtLength) {
+  EXPECT_DOUBLE_EQ(ScoreEq5(150, 100, 50), 0.0);
+  EXPECT_DOUBLE_EQ(ScoreEq5(400, 100, 50), 0.0);
+  EXPECT_DOUBLE_EQ(ScoreEq5(0, 100, 50), 0.0);
+}
+
+TEST(ScoreTest, BoundaryJustInside) {
+  EXPECT_NEAR(ScoreEq5(149, 100, 50), 0.02, 1e-12);
+}
+
+TEST(BestScoreTest, TakesMaxOverCandidates) {
+  std::vector<core::Anomaly> cands;
+  core::Anomaly a;
+  a.position = 130;  // Score 0.4
+  cands.push_back(a);
+  a.position = 105;  // Score 0.9
+  cands.push_back(a);
+  a.position = 500;  // Score 0
+  cands.push_back(a);
+  EXPECT_DOUBLE_EQ(BestScore(cands, ts::Window{100, 50}), 0.9);
+}
+
+TEST(BestScoreTest, EmptyCandidatesScoreZero) {
+  EXPECT_DOUBLE_EQ(BestScore({}, ts::Window{10, 5}), 0.0);
+}
+
+TEST(HitTest, HitIffPositiveScore) {
+  std::vector<core::Anomaly> cands(1);
+  cands[0].position = 149;
+  EXPECT_TRUE(IsHit(cands, ts::Window{100, 50}));
+  cands[0].position = 150;
+  EXPECT_FALSE(IsHit(cands, ts::Window{100, 50}));
+}
+
+// ------------------------------------------------------------------- W/T/L
+
+TEST(WinTieLossTest, Tallies) {
+  WinTieLoss wtl;
+  wtl.Add(0.9, 0.5);   // win
+  wtl.Add(0.5, 0.5);   // tie
+  wtl.Add(0.2, 0.7);   // loss
+  wtl.Add(0.7, 0.7);   // tie
+  EXPECT_EQ(wtl.wins, 1);
+  EXPECT_EQ(wtl.ties, 2);
+  EXPECT_EQ(wtl.losses, 1);
+  EXPECT_EQ(wtl.ToString(), "1/2/1");
+}
+
+TEST(WinTieLossTest, EpsilonTreatsNearEqualAsTie) {
+  WinTieLoss wtl;
+  wtl.Add(0.5 + 1e-14, 0.5);
+  EXPECT_EQ(wtl.ties, 1);
+}
+
+TEST(CompareScoresTest, PairwiseComparison) {
+  MethodAggregate a, b;
+  a.scores = {1.0, 0.5, 0.0, 0.3};
+  b.scores = {0.5, 0.5, 0.2, 0.1};
+  const auto wtl = CompareScores(a, b);
+  EXPECT_EQ(wtl.wins, 2);
+  EXPECT_EQ(wtl.ties, 1);
+  EXPECT_EQ(wtl.losses, 1);
+}
+
+// --------------------------------------------------------------- aggregate
+
+TEST(MethodAggregateTest, AverageAndHitRate) {
+  MethodAggregate agg;
+  agg.scores = {1.0, 0.0, 0.5, 0.0};
+  EXPECT_DOUBLE_EQ(agg.AverageScore(), 0.375);
+  EXPECT_DOUBLE_EQ(agg.HitRate(), 0.5);
+}
+
+TEST(MethodAggregateTest, EmptyAggregates) {
+  MethodAggregate agg;
+  EXPECT_DOUBLE_EQ(agg.AverageScore(), 0.0);
+  EXPECT_DOUBLE_EQ(agg.HitRate(), 0.0);
+}
+
+// ----------------------------------------------------------------- methods
+
+TEST(MethodsTest, NamesMatchPaper) {
+  EXPECT_EQ(MethodName(Method::kProposed), "Proposed");
+  EXPECT_EQ(MethodName(Method::kGiRandom), "GI-Random");
+  EXPECT_EQ(MethodName(Method::kGiFix), "GI-Fix");
+  EXPECT_EQ(MethodName(Method::kGiSelect), "GI-Select");
+  EXPECT_EQ(MethodName(Method::kDiscord), "Discord");
+}
+
+TEST(MethodsTest, FactoryBuildsEveryMethod) {
+  for (Method m : kAllMethods) {
+    auto det = MakeMethod(m);
+    ASSERT_NE(det, nullptr);
+    EXPECT_FALSE(det->name().empty());
+  }
+}
+
+// -------------------------------------------------------- experiment runner
+
+TEST(ExperimentTest, EvaluationSeriesAreDeterministic) {
+  const auto a =
+      MakeEvaluationSeries(datasets::UcrDataset::kWafer, 3, 2020);
+  const auto b =
+      MakeEvaluationSeries(datasets::UcrDataset::kWafer, 3, 2020);
+  ASSERT_EQ(a.size(), 3u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].values, b[i].values);
+    EXPECT_EQ(a[i].anomaly, b[i].anomaly);
+  }
+}
+
+TEST(ExperimentTest, LargerCountExtendsSameSeries) {
+  const auto small =
+      MakeEvaluationSeries(datasets::UcrDataset::kTrace, 2, 7);
+  const auto large =
+      MakeEvaluationSeries(datasets::UcrDataset::kTrace, 4, 7);
+  EXPECT_EQ(small[0].values, large[0].values);
+  EXPECT_EQ(small[1].values, large[1].values);
+}
+
+TEST(ExperimentTest, RunsEndToEndOnSmallConfig) {
+  ExperimentConfig cfg;
+  cfg.series_per_dataset = 2;
+  cfg.method_config.ensemble_size = 8;
+  const datasets::UcrDataset ds[] = {datasets::UcrDataset::kGunPoint};
+  const Method methods[] = {Method::kProposed, Method::kGiFix};
+  const auto result = RunExperiment(ds, methods, cfg);
+
+  const auto& proposed = result.Get(ds[0], Method::kProposed);
+  const auto& fix = result.Get(ds[0], Method::kGiFix);
+  EXPECT_EQ(proposed.scores.size(), 2u);
+  EXPECT_EQ(fix.scores.size(), 2u);
+  for (double s : proposed.scores) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace egi::eval

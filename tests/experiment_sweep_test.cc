@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+
+namespace egi::eval {
+namespace {
+
+// Cross-module consistency sweep: the experiment runner must uphold its
+// invariants for every dataset family and window fraction the paper sweeps
+// (Tables 4-5 and 13-14 rely on these).
+using SweepParam = std::tuple<datasets::UcrDataset, double>;
+
+class ExperimentSweepTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(ExperimentSweepTest, RunnerInvariants) {
+  const auto [dataset, fraction] = GetParam();
+
+  ExperimentConfig cfg;
+  cfg.series_per_dataset = 3;
+  cfg.window_fraction = fraction;
+  cfg.method_config.ensemble_size = 10;
+
+  const datasets::UcrDataset ds[] = {dataset};
+  const Method methods[] = {Method::kProposed, Method::kGiFix};
+  const auto result = RunExperiment(ds, methods, cfg);
+
+  for (const Method m : methods) {
+    const auto& agg = result.Get(dataset, m);
+    ASSERT_EQ(agg.scores.size(), 3u);
+    int positive = 0;
+    for (double s : agg.scores) {
+      EXPECT_GE(s, 0.0);
+      EXPECT_LE(s, 1.0);
+      if (s > 0.0) ++positive;
+    }
+    // HitRate must equal the fraction of positive scores by definition.
+    EXPECT_DOUBLE_EQ(agg.HitRate(), positive / 3.0);
+    // AverageScore is bounded by the extremes of the per-series scores.
+    EXPECT_LE(agg.AverageScore(),
+              *std::max_element(agg.scores.begin(), agg.scores.end()));
+    EXPECT_GE(agg.AverageScore(),
+              *std::min_element(agg.scores.begin(), agg.scores.end()));
+  }
+
+  // W/T/L conserves the series count.
+  const auto wtl = CompareScores(result.Get(dataset, Method::kProposed),
+                                 result.Get(dataset, Method::kGiFix));
+  EXPECT_EQ(wtl.wins + wtl.ties + wtl.losses, 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamiliesAndWindows, ExperimentSweepTest,
+    ::testing::Combine(::testing::ValuesIn(datasets::kAllDatasets),
+                       ::testing::Values(0.6, 0.8, 1.0)),
+    [](const ::testing::TestParamInfo<SweepParam>& param_info) {
+      const auto d = std::get<0>(param_info.param);
+      const auto f = std::get<1>(param_info.param);
+      return std::string(datasets::GetDatasetSpec(d).name) + "_w" +
+             std::to_string(static_cast<int>(f * 100));
+    });
+
+TEST(ExperimentSweepTest, ResultsAreReproducibleAcrossRuns) {
+  ExperimentConfig cfg;
+  cfg.series_per_dataset = 2;
+  cfg.method_config.ensemble_size = 8;
+  const datasets::UcrDataset ds[] = {datasets::UcrDataset::kWafer};
+  const Method methods[] = {Method::kProposed};
+
+  const auto a = RunExperiment(ds, methods, cfg);
+  const auto b = RunExperiment(ds, methods, cfg);
+  EXPECT_EQ(a.Get(ds[0], Method::kProposed).scores,
+            b.Get(ds[0], Method::kProposed).scores);
+}
+
+}  // namespace
+}  // namespace egi::eval

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "core/gi.h"
+#include "util/rng.h"
+
+namespace egi::core {
+namespace {
+
+std::vector<double> NoisySine(size_t len, double period, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(len);
+  for (size_t i = 0; i < len; ++i) {
+    v[i] = std::sin(2.0 * M_PI * static_cast<double>(i) / period) +
+           0.05 * rng.Gaussian();
+  }
+  return v;
+}
+
+TEST(GiRunTest, DensityHasSeriesLength) {
+  const auto series = NoisySine(700, 50.0, 1);
+  GiParams p;
+  p.window_length = 50;
+  auto run = RunGrammarInduction(series, p);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->density.size(), series.size());
+}
+
+TEST(GiRunTest, StatsAreConsistent) {
+  const auto series = NoisySine(900, 60.0, 2);
+  GiParams p;
+  p.window_length = 60;
+  auto run = RunGrammarInduction(series, p);
+  ASSERT_TRUE(run.ok());
+  EXPECT_GT(run->num_tokens, 0u);
+  EXPECT_LE(run->vocabulary, run->num_tokens);
+  // A compressing grammar never has more description symbols than input
+  // tokens plus rule overhead.
+  EXPECT_LE(run->grammar_symbols, run->num_tokens + 2 * run->num_rules);
+}
+
+TEST(GiRunTest, DeterministicPipeline) {
+  const auto series = NoisySine(600, 40.0, 3);
+  GiParams p;
+  p.window_length = 40;
+  auto a = RunGrammarInduction(series, p);
+  auto b = RunGrammarInduction(series, p);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->density, b->density);
+  EXPECT_EQ(a->num_rules, b->num_rules);
+}
+
+TEST(GiRunTest, PeriodicDataHasHighCoverage) {
+  const auto series = NoisySine(1000, 50.0, 4);
+  GiParams p;
+  p.window_length = 50;
+  p.boundary_correction = false;
+  auto run = RunGrammarInduction(series, p);
+  ASSERT_TRUE(run.ok());
+  // Interior points of a periodic series should be covered by rules.
+  size_t covered = 0;
+  for (size_t t = 100; t < 900; ++t) {
+    if (run->density[t] > 0) ++covered;
+  }
+  EXPECT_GT(covered, 700u);
+}
+
+TEST(GiRunTest, BoundaryCorrectionLiftsEdges) {
+  const auto series = NoisySine(800, 40.0, 5);
+  GiParams p;
+  p.window_length = 40;
+  p.boundary_correction = false;
+  auto raw = RunGrammarInduction(series, p);
+  p.boundary_correction = true;
+  auto corrected = RunGrammarInduction(series, p);
+  ASSERT_TRUE(raw.ok() && corrected.ok());
+  // Interior scaling is uniform (1/n); near the edges the corrected curve
+  // must be relatively higher than the raw one whenever coverage exists.
+  const size_t n = 40;
+  const double interior_raw = raw->density[400];
+  const double interior_cor = corrected->density[400];
+  ASSERT_GT(interior_raw, 0.0);
+  EXPECT_NEAR(interior_cor, interior_raw / static_cast<double>(n), 1e-9);
+  // At point 5 only 6 windows provide coverage.
+  if (raw->density[5] > 0.0) {
+    EXPECT_NEAR(corrected->density[5], raw->density[5] / 6.0, 1e-9);
+  }
+}
+
+TEST(GiRunTest, NumerosityReductionShrinksTokenCount) {
+  const auto series = NoisySine(1200, 80.0, 6);
+  GiParams p;
+  p.window_length = 80;
+  p.numerosity_reduction = true;
+  auto with_nr = RunGrammarInduction(series, p);
+  p.numerosity_reduction = false;
+  auto without_nr = RunGrammarInduction(series, p);
+  ASSERT_TRUE(with_nr.ok() && without_nr.ok());
+  EXPECT_LT(with_nr->num_tokens, without_nr->num_tokens);
+  EXPECT_EQ(without_nr->num_tokens, series.size() - 80 + 1);
+}
+
+TEST(GiRunTest, InvalidParamsRejected) {
+  const auto series = NoisySine(100, 20.0, 7);
+  GiParams p;
+  p.window_length = 0;
+  EXPECT_FALSE(RunGrammarInduction(series, p).ok());
+  p.window_length = 101;
+  EXPECT_FALSE(RunGrammarInduction(series, p).ok());
+  p.window_length = 20;
+  p.alphabet_size = 1;
+  EXPECT_FALSE(RunGrammarInduction(series, p).ok());
+  p.alphabet_size = 4;
+  p.paa_size = 0;
+  EXPECT_FALSE(RunGrammarInduction(series, p).ok());
+}
+
+// Density is non-negative and zero exactly where no rule instance covers.
+class GiDensityPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(GiDensityPropertyTest, NonNegativeAndBounded) {
+  const auto [w, a] = GetParam();
+  const auto series = NoisySine(1500, 75.0, static_cast<uint64_t>(w * 100 + a));
+  GiParams p;
+  p.window_length = 75;
+  p.paa_size = w;
+  p.alphabet_size = a;
+  p.boundary_correction = false;
+  auto run = RunGrammarInduction(series, p);
+  ASSERT_TRUE(run.ok());
+  for (double d : run->density) {
+    EXPECT_GE(d, 0.0);
+    // A point can be covered by at most (rule instances) <= tokens.
+    EXPECT_LE(d, static_cast<double>(run->num_tokens));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, GiDensityPropertyTest,
+                         ::testing::Combine(::testing::Values(2, 4, 8),
+                                            ::testing::Values(2, 4, 8)));
+
+}  // namespace
+}  // namespace egi::core

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "datasets/random_walk.h"
+#include "discord/discords.h"
+#include "discord/hotsax.h"
+#include "discord/matrix_profile.h"
+#include "util/rng.h"
+
+namespace egi::discord {
+namespace {
+
+TEST(HotSaxTest, ValidatesArguments) {
+  std::vector<double> v(10, 0.0);
+  EXPECT_FALSE(FindDiscordsHotSax(v, 1, 1).ok());
+  EXPECT_FALSE(FindDiscordsHotSax(v, 11, 1).ok());
+}
+
+TEST(HotSaxTest, FindsPlantedAnomaly) {
+  Rng rng(5);
+  std::vector<double> v(500);
+  for (size_t i = 0; i < v.size(); ++i) {
+    v[i] = std::sin(2.0 * M_PI * static_cast<double>(i) / 20.0) +
+           0.05 * rng.Gaussian();
+  }
+  for (size_t i = 250; i < 260; ++i) v[i] = 3.0;  // structural break
+
+  auto discords = FindDiscordsHotSax(v, 20, 1);
+  ASSERT_TRUE(discords.ok());
+  ASSERT_EQ(discords->size(), 1u);
+  EXPECT_GE((*discords)[0].position + 20, 250u);
+  EXPECT_LE((*discords)[0].position, 260u);
+}
+
+// HOTSAX is a search strategy, not an approximation: its discord must match
+// the brute-force matrix-profile argmax.
+class HotSaxEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HotSaxEquivalenceTest, Top1MatchesMatrixProfileArgmax) {
+  Rng rng(GetParam());
+  const auto v = datasets::MakeRandomWalk(180, rng);
+  const size_t m = 12;
+
+  auto mp = ComputeMatrixProfileBrute(v, m);
+  ASSERT_TRUE(mp.ok());
+  auto expected = TopKDiscords(*mp, 1);
+  ASSERT_EQ(expected.size(), 1u);
+
+  auto got = FindDiscordsHotSax(v, m, 1);
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got->size(), 1u);
+  // Distances must agree; positions may differ only under exact ties.
+  EXPECT_NEAR((*got)[0].distance, expected[0].distance, 1e-6);
+}
+
+TEST_P(HotSaxEquivalenceTest, TopKDistancesMatch) {
+  Rng rng(GetParam() ^ 0x5555);
+  const auto v = datasets::MakeRandomWalk(150, rng);
+  const size_t m = 10;
+
+  auto mp = ComputeMatrixProfileBrute(v, m);
+  ASSERT_TRUE(mp.ok());
+  auto expected = TopKDiscords(*mp, 3);
+  auto got = FindDiscordsHotSax(v, m, 3);
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got->size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR((*got)[i].distance, expected[i].distance, 1e-6) << "k=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HotSaxEquivalenceTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(HotSaxTest, NonOverlappingTopK) {
+  Rng rng(33);
+  const auto v = datasets::MakeRandomWalk(300, rng);
+  auto discords = FindDiscordsHotSax(v, 15, 4);
+  ASSERT_TRUE(discords.ok());
+  for (size_t i = 0; i < discords->size(); ++i) {
+    for (size_t j = i + 1; j < discords->size(); ++j) {
+      const size_t gap = (*discords)[i].position > (*discords)[j].position
+                             ? (*discords)[i].position - (*discords)[j].position
+                             : (*discords)[j].position - (*discords)[i].position;
+      EXPECT_GE(gap, 15u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace egi::discord

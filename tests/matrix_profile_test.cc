@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "datasets/random_walk.h"
+#include "discord/discords.h"
+#include "discord/matrix_profile.h"
+#include "util/rng.h"
+
+namespace egi::discord {
+namespace {
+
+std::vector<double> SineWithAnomaly(size_t len, size_t anomaly_at,
+                                    size_t anomaly_len, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(len);
+  for (size_t i = 0; i < len; ++i) {
+    v[i] = std::sin(2.0 * M_PI * static_cast<double>(i) / 25.0) +
+           0.05 * rng.Gaussian();
+  }
+  for (size_t i = anomaly_at; i < anomaly_at + anomaly_len && i < len; ++i) {
+    v[i] += 2.5;  // a bump that breaks the periodic structure
+  }
+  return v;
+}
+
+// -------------------------------------------------------------- validation
+
+TEST(MatrixProfileTest, ValidatesArguments) {
+  std::vector<double> v(10, 0.0);
+  EXPECT_FALSE(ComputeMatrixProfileBrute(v, 1).ok());
+  EXPECT_FALSE(ComputeMatrixProfileBrute(v, 11).ok());
+  EXPECT_FALSE(ComputeMatrixProfileStomp(v, 1).ok());
+  EXPECT_FALSE(ComputeMatrixProfileStomp(v, 4, 0).ok());
+}
+
+TEST(MatrixProfileTest, DefaultExclusionRadiusIsHalfWindow) {
+  EXPECT_EQ(DefaultExclusionRadius(10), 5u);
+  EXPECT_EQ(DefaultExclusionRadius(3), 1u);
+  EXPECT_EQ(DefaultExclusionRadius(2), 1u);
+}
+
+// ----------------------------------------------------------- known cases
+
+TEST(MatrixProfileTest, IdenticalRepeatsHaveZeroDistance) {
+  // Periodic series: every window has an exact z-normalized match.
+  std::vector<double> v;
+  for (int rep = 0; rep < 8; ++rep) {
+    for (double x : {0.0, 1.0, 2.0, 1.0}) v.push_back(x);
+  }
+  auto mp = ComputeMatrixProfileStomp(v, 4);
+  ASSERT_TRUE(mp.ok());
+  for (size_t i = 0; i < mp->size(); ++i) {
+    EXPECT_NEAR(mp->distances[i], 0.0, 1e-6) << "at " << i;
+  }
+}
+
+TEST(MatrixProfileTest, AnomalousWindowHasLargestDistance) {
+  const auto v = SineWithAnomaly(400, 200, 12, 3);
+  auto mp = ComputeMatrixProfileStomp(v, 25);
+  ASSERT_TRUE(mp.ok());
+  auto discords = TopKDiscords(*mp, 1);
+  ASSERT_EQ(discords.size(), 1u);
+  // The discord must overlap the planted bump.
+  EXPECT_GE(discords[0].position + 25, 200u);
+  EXPECT_LE(discords[0].position, 212u);
+}
+
+TEST(MatrixProfileTest, FlatRegionsFollowConventions) {
+  // Two flat windows: distance 0; flat vs non-flat: sqrt(m).
+  std::vector<double> v(40, 1.0);
+  for (size_t i = 20; i < 30; ++i)
+    v[i] = std::sin(static_cast<double>(i));
+  auto brute = ComputeMatrixProfileBrute(v, 5);
+  auto stomp = ComputeMatrixProfileStomp(v, 5);
+  ASSERT_TRUE(brute.ok() && stomp.ok());
+  for (size_t i = 0; i < brute->size(); ++i) {
+    EXPECT_NEAR(brute->distances[i], stomp->distances[i], 1e-6) << "at " << i;
+  }
+  // Window 0 (flat) matches another flat window at distance 0.
+  EXPECT_NEAR(stomp->distances[0], 0.0, 1e-9);
+}
+
+TEST(MatrixProfileTest, NoAdmissibleNeighbourYieldsInfinity) {
+  // count = 3 windows, exclusion radius 5 -> no admissible pairs.
+  std::vector<double> v{0, 1, 2, 3, 4, 5, 6, 7};
+  auto mp = ComputeMatrixProfileStomp(v, 6, 1, /*exclusion_radius=*/5);
+  ASSERT_TRUE(mp.ok());
+  for (double d : mp->distances) EXPECT_TRUE(std::isinf(d));
+  EXPECT_TRUE(TopKDiscords(*mp, 3).empty());
+}
+
+// ----------------------------------------------- STOMP == brute property
+
+class StompEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, uint64_t>> {};
+
+TEST_P(StompEquivalenceTest, MatchesBruteForce) {
+  const auto [len, m, seed] = GetParam();
+  Rng rng(seed);
+  const auto v = datasets::MakeRandomWalk(len, rng);
+
+  auto brute = ComputeMatrixProfileBrute(v, m);
+  auto stomp = ComputeMatrixProfileStomp(v, m);
+  ASSERT_TRUE(brute.ok() && stomp.ok());
+  ASSERT_EQ(brute->size(), stomp->size());
+  for (size_t i = 0; i < brute->size(); ++i) {
+    if (std::isinf(brute->distances[i]) && std::isinf(stomp->distances[i])) {
+      continue;  // both found no admissible neighbour: agreement
+    }
+    EXPECT_NEAR(brute->distances[i], stomp->distances[i], 1e-6)
+        << "len=" << len << " m=" << m << " i=" << i;
+  }
+}
+
+TEST_P(StompEquivalenceTest, ParallelMatchesSerial) {
+  const auto [len, m, seed] = GetParam();
+  Rng rng(seed ^ 0xBEEF);
+  const auto v = datasets::MakeRandomWalk(len, rng);
+
+  auto serial = ComputeMatrixProfileStomp(v, m, 1);
+  auto par2 = ComputeMatrixProfileStomp(v, m, 2);
+  auto par3 = ComputeMatrixProfileStomp(v, m, 3);
+  ASSERT_TRUE(serial.ok() && par2.ok() && par3.ok());
+  for (size_t i = 0; i < serial->size(); ++i) {
+    if (std::isinf(serial->distances[i])) {
+      EXPECT_TRUE(std::isinf(par2->distances[i])) << i;
+      EXPECT_TRUE(std::isinf(par3->distances[i])) << i;
+      continue;
+    }
+    EXPECT_NEAR(serial->distances[i], par2->distances[i], 1e-7) << i;
+    EXPECT_NEAR(serial->distances[i], par3->distances[i], 1e-7) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, StompEquivalenceTest,
+    ::testing::Combine(::testing::Values(30, 64, 150, 257),
+                       ::testing::Values(4, 8, 16),
+                       ::testing::Values(1, 2, 3)));
+
+// ----------------------------------------------------------- top-k discords
+
+TEST(TopKDiscordsTest, NonOverlappingAndSortedDescending) {
+  const auto v = SineWithAnomaly(600, 150, 12, 7);
+  auto mp = ComputeMatrixProfileStomp(v, 25);
+  ASSERT_TRUE(mp.ok());
+  auto discords = TopKDiscords(*mp, 3);
+  ASSERT_EQ(discords.size(), 3u);
+  for (size_t i = 1; i < discords.size(); ++i) {
+    EXPECT_GE(discords[i - 1].distance, discords[i].distance);
+    for (size_t j = 0; j < i; ++j) {
+      const size_t gap = discords[i].position > discords[j].position
+                             ? discords[i].position - discords[j].position
+                             : discords[j].position - discords[i].position;
+      EXPECT_GE(gap, 25u) << "discords " << i << " and " << j << " overlap";
+    }
+  }
+}
+
+TEST(TopKDiscordsTest, KLargerThanAvailable) {
+  std::vector<double> v{0, 1, 0, 1, 0, 1, 0, 2, 0, 1, 0, 1};
+  auto mp = ComputeMatrixProfileStomp(v, 4);
+  ASSERT_TRUE(mp.ok());
+  auto discords = TopKDiscords(*mp, 100);
+  EXPECT_LE(discords.size(), mp->size());
+  EXPECT_FALSE(discords.empty());
+}
+
+}  // namespace
+}  // namespace egi::discord

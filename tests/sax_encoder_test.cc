@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "sax/multires_encoder.h"
+#include "sax/numerosity.h"
+#include "sax/sax_encoder.h"
+#include "sax/token_table.h"
+#include "util/rng.h"
+
+namespace egi::sax {
+namespace {
+
+// ------------------------------------------------------------ token table
+
+TEST(TokenTableTest, InternAssignsDenseIds) {
+  TokenTable t;
+  EXPECT_EQ(t.Intern("ab"), 0);
+  EXPECT_EQ(t.Intern("bc"), 1);
+  EXPECT_EQ(t.Intern("ab"), 0);  // idempotent
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.Word(0), "ab");
+  EXPECT_EQ(t.Word(1), "bc");
+}
+
+TEST(TokenTableTest, FindWithoutInsert) {
+  TokenTable t;
+  t.Intern("xy");
+  EXPECT_EQ(t.Find("xy"), 0);
+  EXPECT_EQ(t.Find("zz"), -1);
+}
+
+TEST(TokenTableTest, ManyWordsSurviveReallocation) {
+  TokenTable t;
+  std::vector<std::string> words;
+  for (int i = 0; i < 2000; ++i) {
+    words.push_back("w" + std::to_string(i));
+    EXPECT_EQ(t.Intern(words.back()), i);
+  }
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_EQ(t.Find(words[static_cast<size_t>(i)]), i);
+    EXPECT_EQ(t.Word(i), words[static_cast<size_t>(i)]);
+  }
+}
+
+// ------------------------------------------------------ numerosity (Eq. 2/3)
+
+TEST(NumerosityTest, PaperExampleEq2ToEq3) {
+  // S = ba,ba,ba,dc,dc,aa,ac,ac with ids ba=0, dc=1, aa=2, ac=3.
+  std::vector<int32_t> raw{0, 0, 0, 1, 1, 2, 3, 3};
+  auto reduced = NumerosityReduce(raw);
+  EXPECT_EQ(reduced.tokens, (std::vector<int32_t>{0, 1, 2, 3}));
+  EXPECT_EQ(reduced.offsets, (std::vector<size_t>{0, 3, 5, 6}));
+}
+
+TEST(NumerosityTest, DisabledIsIdentity) {
+  std::vector<int32_t> raw{0, 0, 1, 1};
+  auto reduced = NumerosityReduce(raw, /*enabled=*/false);
+  EXPECT_EQ(reduced.tokens, raw);
+  EXPECT_EQ(reduced.offsets, (std::vector<size_t>{0, 1, 2, 3}));
+}
+
+TEST(NumerosityTest, EmptyInput) {
+  auto reduced = NumerosityReduce(std::vector<int32_t>{});
+  EXPECT_TRUE(reduced.tokens.empty());
+}
+
+TEST(NumerosityTest, ExpandRoundTrip) {
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<int32_t> raw;
+    const int runs = 1 + static_cast<int>(rng.UniformInt(0, 20));
+    for (int r = 0; r < runs; ++r) {
+      const auto tok = static_cast<int32_t>(rng.UniformInt(0, 4));
+      const auto rep = static_cast<int>(rng.UniformInt(1, 5));
+      for (int i = 0; i < rep; ++i) raw.push_back(tok);
+    }
+    auto reduced = NumerosityReduce(raw);
+    EXPECT_EQ(NumerosityExpand(reduced, raw.size()), raw);
+  }
+}
+
+TEST(NumerosityTest, AlternatingTokensNotReduced) {
+  std::vector<int32_t> raw{0, 1, 0, 1};
+  auto reduced = NumerosityReduce(raw);
+  EXPECT_EQ(reduced.tokens, raw);
+}
+
+// ---------------------------------------------------------------- encoder
+
+TEST(SaxWordTest, KnownSubsequenceWord) {
+  // Ramp: z-normalized PAA coefficients ascend, so the word's symbols must
+  // be non-decreasing and span the alphabet extremes.
+  std::vector<double> ramp{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+  auto word = SaxWordForSubsequence(ramp, 4, 4);
+  ASSERT_TRUE(word.ok());
+  EXPECT_EQ(word.value(), "abcd");
+}
+
+TEST(SaxWordTest, FlatSubsequenceMapsToMiddleSymbols) {
+  std::vector<double> flat(16, 3.0);
+  auto w3 = SaxWordForSubsequence(flat, 4, 3);
+  ASSERT_TRUE(w3.ok());
+  EXPECT_EQ(w3.value(), "bbbb");  // 0 falls in the middle region for a=3
+  auto w4 = SaxWordForSubsequence(flat, 4, 4);
+  ASSERT_TRUE(w4.ok());
+  EXPECT_EQ(w4.value(), "cccc");  // boundary 0 belongs to the upper region
+}
+
+TEST(SaxWordTest, InvalidParamsRejected) {
+  std::vector<double> v{1.0, 2.0, 3.0};
+  EXPECT_FALSE(SaxWordForSubsequence(v, 5, 4).ok());   // w > n
+  EXPECT_FALSE(SaxWordForSubsequence(v, 2, 1).ok());   // a < 2
+  EXPECT_FALSE(SaxWordForSubsequence(v, 2, 100).ok()); // a > max
+}
+
+TEST(DiscretizeTest, ValidatesParams) {
+  std::vector<double> v(100, 0.0);
+  SaxParams p;
+  p.window_length = 0;
+  EXPECT_FALSE(DiscretizeSeries(v, p).ok());
+  p.window_length = 101;
+  EXPECT_FALSE(DiscretizeSeries(v, p).ok());
+  p.window_length = 10;
+  p.paa_size = 11;
+  EXPECT_FALSE(DiscretizeSeries(v, p).ok());
+}
+
+TEST(DiscretizeTest, OffsetsStrictlyIncreaseAndStartAtZero) {
+  Rng rng(4);
+  std::vector<double> v(500);
+  for (auto& x : v) x = rng.Gaussian();
+  SaxParams p;
+  p.window_length = 50;
+  p.paa_size = 4;
+  p.alphabet_size = 4;
+  auto d = DiscretizeSeries(v, p);
+  ASSERT_TRUE(d.ok());
+  ASSERT_FALSE(d->seq.tokens.empty());
+  EXPECT_EQ(d->seq.offsets.front(), 0u);
+  for (size_t i = 1; i < d->seq.offsets.size(); ++i) {
+    EXPECT_LT(d->seq.offsets[i - 1], d->seq.offsets[i]);
+  }
+  EXPECT_LE(d->seq.offsets.back(), d->num_positions() - 1);
+}
+
+TEST(DiscretizeTest, NumerosityReductionCollapsesConstantSeries) {
+  std::vector<double> v(200, 1.0);
+  SaxParams p;
+  p.window_length = 20;
+  p.paa_size = 4;
+  p.alphabet_size = 4;
+  auto d = DiscretizeSeries(v, p);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->seq.size(), 1u);  // one token after reduction
+}
+
+TEST(DiscretizeTest, WithoutReductionOneTokenPerPosition) {
+  std::vector<double> v(100, 1.0);
+  SaxParams p;
+  p.window_length = 10;
+  p.paa_size = 2;
+  p.alphabet_size = 2;
+  p.numerosity_reduction = false;
+  auto d = DiscretizeSeries(v, p);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->seq.size(), 91u);
+}
+
+TEST(DiscretizeTest, PeriodicSeriesYieldsRepeatingTokens) {
+  std::vector<double> v(400);
+  for (size_t i = 0; i < v.size(); ++i)
+    v[i] = std::sin(2.0 * M_PI * static_cast<double>(i) / 40.0);
+  SaxParams p;
+  p.window_length = 40;
+  p.paa_size = 4;
+  p.alphabet_size = 3;
+  auto d = DiscretizeSeries(v, p);
+  ASSERT_TRUE(d.ok());
+  // Perfectly periodic data: far fewer distinct words than tokens.
+  EXPECT_LT(d->table.size(), d->seq.size());
+}
+
+// ----------------------------------------------------- multi-res encoder
+
+class MultiResEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(MultiResEquivalenceTest, MatchesSingleResolutionEncoder) {
+  const auto [w, a] = GetParam();
+  Rng rng(static_cast<uint64_t>(w) * 31 + static_cast<uint64_t>(a));
+  std::vector<double> v(600);
+  for (size_t i = 0; i < v.size(); ++i)
+    v[i] = rng.Gaussian() + std::sin(static_cast<double>(i) / 15.0);
+
+  const size_t n = 60;
+  SaxParams p;
+  p.window_length = n;
+  p.paa_size = w;
+  p.alphabet_size = a;
+  auto direct = DiscretizeSeries(v, p);
+  ASSERT_TRUE(direct.ok());
+
+  MultiResSaxEncoder encoder(v, n, /*amax=*/20);
+  auto multi = encoder.Encode(w, a);
+  ASSERT_TRUE(multi.ok());
+
+  ASSERT_EQ(multi->seq.size(), direct->seq.size());
+  EXPECT_EQ(multi->seq.offsets, direct->seq.offsets);
+  // Token ids are interned per-encoder; compare the rendered words.
+  for (size_t i = 0; i < multi->seq.size(); ++i) {
+    EXPECT_EQ(multi->table.Word(multi->seq.tokens[i]),
+              direct->table.Word(direct->seq.tokens[i]))
+        << "token " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MultiResEquivalenceTest,
+    ::testing::Combine(::testing::Values(2, 3, 4, 7, 10, 15, 20),
+                       ::testing::Values(2, 3, 4, 7, 10, 15, 20)));
+
+TEST(MultiResEncoderTest, EncodeAllMatchesIndividualEncodes) {
+  Rng rng(77);
+  std::vector<double> v(400);
+  for (auto& x : v) x = rng.Gaussian();
+  MultiResSaxEncoder encoder(v, 40, 10);
+
+  std::vector<WaParam> params{{2, 5}, {4, 4}, {4, 9}, {7, 2}, {10, 10}};
+  auto batch = encoder.EncodeAll(params);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    auto single = encoder.Encode(params[i].paa_size, params[i].alphabet_size);
+    ASSERT_TRUE(single.ok());
+    EXPECT_EQ((*batch)[i].seq.tokens, single->seq.tokens) << "param " << i;
+    EXPECT_EQ((*batch)[i].seq.offsets, single->seq.offsets) << "param " << i;
+  }
+}
+
+TEST(MultiResEncoderTest, RejectsAlphabetBeyondAmax) {
+  std::vector<double> v(100, 0.0);
+  MultiResSaxEncoder encoder(v, 10, 8);
+  EXPECT_FALSE(encoder.Encode(4, 9).ok());
+  EXPECT_TRUE(encoder.Encode(4, 8).ok());
+}
+
+TEST(MultiResEncoderTest, RejectsInvalidPaaSize) {
+  std::vector<double> v(100, 0.0);
+  MultiResSaxEncoder encoder(v, 10, 8);
+  EXPECT_FALSE(encoder.Encode(11, 4).ok());  // w > window
+  EXPECT_FALSE(encoder.Encode(0, 4).ok());
+}
+
+}  // namespace
+}  // namespace egi::sax

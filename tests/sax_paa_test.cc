@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "sax/fast_paa.h"
+#include "sax/paa.h"
+#include "ts/prefix_stats.h"
+#include "ts/stats.h"
+#include "util/rng.h"
+
+namespace egi::sax {
+namespace {
+
+// -------------------------------------------------------------- naive PAA
+
+TEST(PaaTest, EvenSplitAverages) {
+  std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  auto out = PaaOf(v, 2);
+  EXPECT_DOUBLE_EQ(out[0], 1.5);
+  EXPECT_DOUBLE_EQ(out[1], 3.5);
+}
+
+TEST(PaaTest, WEqualsNIsIdentity) {
+  std::vector<double> v{1.0, -2.0, 3.0, 0.5};
+  auto out = PaaOf(v, 4);
+  for (size_t i = 0; i < v.size(); ++i) EXPECT_DOUBLE_EQ(out[i], v[i]);
+}
+
+TEST(PaaTest, WEqualsOneIsMean) {
+  std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+  auto out = PaaOf(v, 1);
+  EXPECT_DOUBLE_EQ(out[0], 3.0);
+}
+
+TEST(PaaTest, FractionalBoundariesExact) {
+  // n=3, w=2: segments [0,1.5) and [1.5,3).
+  std::vector<double> v{1.0, 2.0, 3.0};
+  auto out = PaaOf(v, 2);
+  EXPECT_NEAR(out[0], (1.0 + 0.5 * 2.0) / 1.5, 1e-12);
+  EXPECT_NEAR(out[1], (0.5 * 2.0 + 3.0) / 1.5, 1e-12);
+}
+
+TEST(PaaTest, MeanIsPreserved) {
+  // PAA with equal-width segments preserves the mean exactly.
+  Rng rng(5);
+  std::vector<double> v(97);
+  for (auto& x : v) x = rng.Gaussian();
+  for (int w : {1, 2, 3, 5, 7, 10, 97}) {
+    auto out = PaaOf(v, w);
+    EXPECT_NEAR(ts::Mean(out), ts::Mean(v), 1e-10) << "w=" << w;
+  }
+}
+
+TEST(ZNormalizedPaaTest, FlatWindowAllZeros) {
+  std::vector<double> v(20, 2.5);
+  std::vector<double> out(4);
+  ZNormalizedPaa(v, 4, out);
+  for (double x : out) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+// --------------------------------------------------------------- Fast PAA
+
+TEST(FastPaaTest, MatchesNaiveOnSimpleWindow) {
+  std::vector<double> series{1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0};
+  ts::PrefixStats stats(series);
+  FastPaa fast(&stats);
+
+  std::vector<double> got(2), want(2);
+  fast.Compute(2, 4, 2, got);
+  ZNormalizedPaa(std::span<const double>(series).subspan(2, 4), 2, want);
+  EXPECT_NEAR(got[0], want[0], 1e-10);
+  EXPECT_NEAR(got[1], want[1], 1e-10);
+}
+
+TEST(FastPaaTest, FlatWindowAllZeros) {
+  std::vector<double> series(50, 7.0);
+  ts::PrefixStats stats(series);
+  FastPaa fast(&stats);
+  std::vector<double> out(5);
+  fast.Compute(10, 20, 5, out);
+  for (double x : out) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+// Property sweep: FastPaa (Algorithm 2) equals the z-normalize-then-PAA
+// reference for every (n, w) combination on random series.
+class FastPaaEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(FastPaaEquivalenceTest, MatchesReference) {
+  const auto [n, w] = GetParam();
+  if (w > n) GTEST_SKIP() << "w > n not applicable";
+
+  Rng rng(static_cast<uint64_t>(n) * 1000 + static_cast<uint64_t>(w));
+  std::vector<double> series(300);
+  for (auto& x : series) x = rng.Gaussian(10.0, 4.0);
+
+  ts::PrefixStats stats(series);
+  FastPaa fast(&stats);
+  std::vector<double> got(static_cast<size_t>(w));
+  std::vector<double> want(static_cast<size_t>(w));
+
+  for (size_t start = 0; start + static_cast<size_t>(n) <= series.size();
+       start += 7) {
+    fast.Compute(start, static_cast<size_t>(n), w, got);
+    ZNormalizedPaa(
+        std::span<const double>(series).subspan(start, static_cast<size_t>(n)),
+        w, want);
+    for (int i = 0; i < w; ++i) {
+      EXPECT_NEAR(got[static_cast<size_t>(i)], want[static_cast<size_t>(i)],
+                  1e-7)
+          << "start=" << start << " n=" << n << " w=" << w << " i=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FastPaaEquivalenceTest,
+    ::testing::Combine(::testing::Values(8, 13, 20, 50, 82, 150),
+                       ::testing::Values(2, 3, 4, 5, 7, 10, 13, 20)));
+
+}  // namespace
+}  // namespace egi::sax

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "ts/prefix_stats.h"
+#include "ts/stats.h"
+#include "ts/window.h"
+#include "util/rng.h"
+
+namespace egi::ts {
+namespace {
+
+// ------------------------------------------------------------------ stats
+
+TEST(StatsTest, MeanOfKnownValues) {
+  std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 2.5);
+}
+
+TEST(StatsTest, MeanOfEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(Mean(std::vector<double>{}), 0.0);
+}
+
+TEST(StatsTest, SampleVarianceKnown) {
+  std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  // Population variance of this classic example is 4; sample variance 32/7.
+  EXPECT_NEAR(SampleVariance(v), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(PopulationStdDev(v), 2.0, 1e-12);
+}
+
+TEST(StatsTest, VarianceOfSingletonIsZero) {
+  std::vector<double> v{3.0};
+  EXPECT_DOUBLE_EQ(SampleVariance(v), 0.0);
+  EXPECT_DOUBLE_EQ(SampleStdDev(v), 0.0);
+}
+
+TEST(StatsTest, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(Median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Median(std::vector<double>{4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_DOUBLE_EQ(Median(std::vector<double>{5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(Median(std::vector<double>{}), 0.0);
+}
+
+TEST(StatsTest, MedianDoesNotModifyInput) {
+  std::vector<double> v{3.0, 1.0, 2.0};
+  Median(v);
+  EXPECT_EQ(v, (std::vector<double>{3.0, 1.0, 2.0}));
+}
+
+TEST(StatsTest, FindMinMax) {
+  auto mm = FindMinMax(std::vector<double>{3.0, -1.0, 7.0, 0.0});
+  EXPECT_DOUBLE_EQ(mm.min, -1.0);
+  EXPECT_DOUBLE_EQ(mm.max, 7.0);
+}
+
+TEST(StatsTest, ZNormalizeProducesZeroMeanUnitStd) {
+  std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+  auto z = ZNormalized(v);
+  EXPECT_NEAR(Mean(z), 0.0, 1e-12);
+  EXPECT_NEAR(SampleStdDev(z), 1.0, 1e-12);
+}
+
+TEST(StatsTest, ZNormalizeFlatWindowGoesToZeros) {
+  std::vector<double> v(10, 3.25);
+  auto z = ZNormalized(v);
+  for (double x : z) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+TEST(StatsTest, ZNormalizeNearFlatBelowThresholdGoesToZeros) {
+  std::vector<double> v{1.0, 1.0001, 0.9999, 1.0};
+  auto z = ZNormalized(v, /*norm_threshold=*/0.01);
+  for (double x : z) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+TEST(StatsTest, ZNormalizeInPlaceAliasing) {
+  std::vector<double> v{1.0, 2.0, 3.0};
+  ZNormalize(v, v);
+  EXPECT_NEAR(Mean(v), 0.0, 1e-12);
+}
+
+// ----------------------------------------------------------- prefix stats
+
+TEST(PrefixStatsTest, RangeSumMatchesDirect) {
+  std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+  PrefixStats ps(v);
+  EXPECT_DOUBLE_EQ(ps.RangeSum(0, 5), 15.0);
+  EXPECT_DOUBLE_EQ(ps.RangeSum(1, 3), 9.0);
+  EXPECT_DOUBLE_EQ(ps.RangeSum(4, 1), 5.0);
+  EXPECT_DOUBLE_EQ(ps.RangeSum(2, 0), 0.0);
+}
+
+TEST(PrefixStatsTest, RangeMeanAndStd) {
+  std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  PrefixStats ps(v);
+  EXPECT_NEAR(ps.RangeMean(0, 8), 5.0, 1e-12);
+  EXPECT_NEAR(ps.RangeStdDev(0, 8), std::sqrt(32.0 / 7.0), 1e-9);
+}
+
+TEST(PrefixStatsTest, RangeStdOfLengthOneIsZero) {
+  std::vector<double> v{1.0, 5.0};
+  PrefixStats ps(v);
+  EXPECT_DOUBLE_EQ(ps.RangeStdDev(1, 1), 0.0);
+}
+
+TEST(PrefixStatsTest, FlatRangeStdClampsToZero) {
+  std::vector<double> v(100, 1e6);  // cancellation-prone
+  PrefixStats ps(v);
+  EXPECT_DOUBLE_EQ(ps.RangeStdDev(10, 50), 0.0);
+}
+
+TEST(PrefixStatsTest, FractionalRangeSumWholeSamples) {
+  std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  PrefixStats ps(v);
+  EXPECT_NEAR(ps.FractionalRangeSum(0.0, 4.0), 10.0, 1e-12);
+  EXPECT_NEAR(ps.FractionalRangeSum(1.0, 3.0), 5.0, 1e-12);
+}
+
+TEST(PrefixStatsTest, FractionalRangeSumPartialCells) {
+  std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  PrefixStats ps(v);
+  // [0.5, 1.5): half of sample 0 plus half of sample 1.
+  EXPECT_NEAR(ps.FractionalRangeSum(0.5, 1.5), 0.5 + 1.0, 1e-12);
+  // Entirely inside one sample.
+  EXPECT_NEAR(ps.FractionalRangeSum(2.25, 2.75), 1.5, 1e-12);
+  // Empty interval.
+  EXPECT_NEAR(ps.FractionalRangeSum(1.0, 1.0), 0.0, 1e-12);
+}
+
+// Property sweep: prefix-stat range queries equal direct computation for
+// random series and many (start, length) pairs.
+class PrefixStatsPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PrefixStatsPropertyTest, MatchesDirectComputation) {
+  Rng rng(GetParam());
+  const size_t n = 200 + static_cast<size_t>(rng.UniformInt(0, 300));
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.Gaussian(5.0, 3.0);
+  PrefixStats ps(v);
+
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto start = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(n) - 2));
+    const auto len = static_cast<size_t>(
+        rng.UniformInt(2, static_cast<int64_t>(n - start)));
+    std::span<const double> range(v.data() + start, len);
+    EXPECT_NEAR(ps.RangeMean(start, len), Mean(range), 1e-9);
+    EXPECT_NEAR(ps.RangeStdDev(start, len), SampleStdDev(range), 1e-7);
+  }
+}
+
+TEST_P(PrefixStatsPropertyTest, FractionalSumMatchesFineGrid) {
+  Rng rng(GetParam() ^ 0xABCDEF);
+  const size_t n = 50;
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.Gaussian();
+  PrefixStats ps(v);
+
+  for (int trial = 0; trial < 50; ++trial) {
+    double from = rng.UniformDouble(0.0, static_cast<double>(n) - 0.01);
+    double to = rng.UniformDouble(from, static_cast<double>(n));
+    // Direct evaluation of the step-function integral.
+    double expected = 0.0;
+    for (size_t k = 0; k < n; ++k) {
+      const double lo = std::max(from, static_cast<double>(k));
+      const double hi = std::min(to, static_cast<double>(k) + 1.0);
+      if (hi > lo) expected += v[k] * (hi - lo);
+    }
+    EXPECT_NEAR(ps.FractionalRangeSum(from, to), expected, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrefixStatsPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ----------------------------------------------------------------- window
+
+TEST(WindowTest, NumSlidingWindows) {
+  EXPECT_EQ(NumSlidingWindows(10, 3), 8u);
+  EXPECT_EQ(NumSlidingWindows(10, 10), 1u);
+  EXPECT_EQ(NumSlidingWindows(10, 11), 0u);
+  EXPECT_EQ(NumSlidingWindows(10, 0), 0u);
+}
+
+TEST(WindowTest, OverlapsAndLength) {
+  Window a{0, 10}, b{5, 10}, c{10, 5};
+  EXPECT_TRUE(Overlaps(a, b));
+  EXPECT_FALSE(Overlaps(a, c));  // half-open ranges touch but do not overlap
+  EXPECT_EQ(OverlapLength(a, b), 5u);
+  EXPECT_EQ(OverlapLength(a, c), 0u);
+}
+
+TEST(WindowTest, IoU) {
+  Window a{0, 10}, b{5, 10};
+  EXPECT_DOUBLE_EQ(WindowIoU(a, b), 5.0 / 15.0);
+  EXPECT_DOUBLE_EQ(WindowIoU(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(WindowIoU(a, Window{20, 5}), 0.0);
+}
+
+}  // namespace
+}  // namespace egi::ts

@@ -1,0 +1,332 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/env.h"
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace egi {
+namespace {
+
+// ----------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsCarryCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::InvalidArgument("bad arg").message(), "bad arg");
+}
+
+TEST(StatusTest, ToStringIncludesCodeName) {
+  EXPECT_EQ(Status::InvalidArgument("w too big").ToString(),
+            "InvalidArgument: w too big");
+}
+
+TEST(StatusTest, StreamOperator) {
+  std::ostringstream os;
+  os << Status::NotFound("gone");
+  EXPECT_EQ(os.str(), "NotFound: gone");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+}
+
+Status FailingHelper() { return Status::OutOfRange("helper"); }
+
+Status PropagationSite() {
+  EGI_RETURN_IF_ERROR(FailingHelper());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(PropagationSite().code(), StatusCode::kOutOfRange);
+}
+
+// ----------------------------------------------------------------- Result
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::InvalidArgument("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+Result<int> HalveEven(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> QuarterViaMacro(int x) {
+  EGI_ASSIGN_OR_RETURN(int half, HalveEven(x));
+  EGI_ASSIGN_OR_RETURN(int quarter, HalveEven(half));
+  return quarter;
+}
+
+TEST(ResultTest, AssignOrReturnHappyPath) {
+  auto r = QuarterViaMacro(8);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 2);
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  EXPECT_FALSE(QuarterViaMacro(6).ok());  // 6 -> 3, second halving fails
+  EXPECT_FALSE(QuarterViaMacro(7).ok());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+// -------------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformDoubleMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.UniformDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntCoversInclusiveRange) {
+  Rng rng(3);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(2, 10);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 10);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 9u);  // all values hit
+}
+
+TEST(RngTest, UniformIntSingletonRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(4, 4), 4);
+}
+
+TEST(RngTest, GaussianMomentsApproximatelyStandard) {
+  Rng rng(17);
+  const int n = 200000;
+  double sum = 0.0, sumsq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sumsq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.02);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.Shuffle(std::span<int>(v));
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RngTest, SampleWithoutReplacementUniqueAndInRange) {
+  Rng rng(29);
+  auto sample = rng.SampleWithoutReplacement(50, 20);
+  EXPECT_EQ(sample.size(), 20u);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (size_t s : sample) EXPECT_LT(s, 50u);
+}
+
+TEST(RngTest, SampleWholePopulation) {
+  Rng rng(31);
+  auto sample = rng.SampleWithoutReplacement(10, 10);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(41);
+  Rng child = a.Fork();
+  // The child stream should not replay the parent's outputs.
+  Rng reference(41);
+  reference.NextUint64();  // parent consumed one draw to fork
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child.NextUint64() == reference.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+// -------------------------------------------------------------------- CSV
+
+TEST(CsvTest, EscapePlainFieldUnchanged) {
+  EXPECT_EQ(CsvWriter::EscapeField("abc"), "abc");
+}
+
+TEST(CsvTest, EscapeComma) {
+  EXPECT_EQ(CsvWriter::EscapeField("a,b"), "\"a,b\"");
+}
+
+TEST(CsvTest, EscapeQuote) {
+  EXPECT_EQ(CsvWriter::EscapeField("a\"b"), "\"a\"\"b\"");
+}
+
+TEST(CsvTest, EscapeNewline) {
+  EXPECT_EQ(CsvWriter::EscapeField("a\nb"), "\"a\nb\"");
+}
+
+TEST(CsvTest, WritesRowsToFile) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "egi_csv_test.csv").string();
+  {
+    CsvWriter w(path);
+    ASSERT_TRUE(w.ok());
+    w.WriteRow({"h1", "h,2"});
+    w.WriteNumericRow({1.5, 2.0});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "h1,\"h,2\"");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1.5,2");
+  std::filesystem::remove(path);
+}
+
+// -------------------------------------------------------------------- Env
+
+TEST(EnvTest, IntFallbackWhenUnset) {
+  ::unsetenv("EGI_TEST_INT");
+  EXPECT_EQ(GetEnvInt("EGI_TEST_INT", 7), 7);
+}
+
+TEST(EnvTest, IntParsed) {
+  ::setenv("EGI_TEST_INT", "42", 1);
+  EXPECT_EQ(GetEnvInt("EGI_TEST_INT", 7), 42);
+  ::unsetenv("EGI_TEST_INT");
+}
+
+TEST(EnvTest, IntGarbageFallsBack) {
+  ::setenv("EGI_TEST_INT", "4x2", 1);
+  EXPECT_EQ(GetEnvInt("EGI_TEST_INT", 7), 7);
+  ::unsetenv("EGI_TEST_INT");
+}
+
+TEST(EnvTest, BoolVariants) {
+  ::setenv("EGI_TEST_BOOL", "TRUE", 1);
+  EXPECT_TRUE(GetEnvBool("EGI_TEST_BOOL", false));
+  ::setenv("EGI_TEST_BOOL", "0", 1);
+  EXPECT_FALSE(GetEnvBool("EGI_TEST_BOOL", true));
+  ::setenv("EGI_TEST_BOOL", "banana", 1);
+  EXPECT_TRUE(GetEnvBool("EGI_TEST_BOOL", true));
+  ::unsetenv("EGI_TEST_BOOL");
+}
+
+TEST(EnvTest, DoubleParsed) {
+  ::setenv("EGI_TEST_DBL", "0.25", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("EGI_TEST_DBL", 1.0), 0.25);
+  ::unsetenv("EGI_TEST_DBL");
+}
+
+TEST(EnvTest, StringFallback) {
+  ::unsetenv("EGI_TEST_STR");
+  EXPECT_EQ(GetEnvString("EGI_TEST_STR", "dflt"), "dflt");
+  ::setenv("EGI_TEST_STR", "value", 1);
+  EXPECT_EQ(GetEnvString("EGI_TEST_STR", "dflt"), "value");
+  ::unsetenv("EGI_TEST_STR");
+}
+
+// ------------------------------------------------------------------ Table
+
+TEST(TableTest, FormatDoubleFixedPrecision) {
+  EXPECT_EQ(FormatDouble(0.39514, 4), "0.3951");
+  EXPECT_EQ(FormatDouble(1.0, 2), "1.00");
+}
+
+TEST(TableTest, PrintAlignsColumns) {
+  TextTable t("Title");
+  t.SetHeader({"Dataset", "Score"});
+  t.AddRow({"Wafer", "0.31"});
+  t.AddRow({"StarLightCurve", "0.94"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("Title"), std::string::npos);
+  EXPECT_NE(s.find("StarLightCurve"), std::string::npos);
+  // Both numeric cells right-aligned to the same column end.
+  EXPECT_NE(s.find("0.31"), std::string::npos);
+  EXPECT_NE(s.find("0.94"), std::string::npos);
+}
+
+TEST(TableTest, EmptyTablePrintsNothing) {
+  TextTable t;
+  std::ostringstream os;
+  t.Print(os);
+  EXPECT_TRUE(os.str().empty());
+}
+
+// -------------------------------------------------------------- Stopwatch
+
+TEST(StopwatchTest, MeasuresNonNegativeElapsed) {
+  Stopwatch sw;
+  EXPECT_GE(sw.ElapsedSeconds(), 0.0);
+  sw.Restart();
+  EXPECT_GE(sw.ElapsedMillis(), 0.0);
+}
+
+}  // namespace
+}  // namespace egi
