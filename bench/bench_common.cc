@@ -4,6 +4,7 @@
 
 #include "core/detector.h"
 #include "eval/metrics.h"
+#include "exec/parallel.h"
 #include "util/env.h"
 
 namespace egi::bench {
@@ -16,8 +17,10 @@ BenchSettings SettingsFromEnv() {
   s.data_seed = static_cast<uint64_t>(GetEnvInt("EGI_DATA_SEED", 2020));
   s.methods.ensemble_size =
       static_cast<int>(GetEnvInt("EGI_ENSEMBLE_SIZE", 50));
-  s.methods.discord_threads =
-      static_cast<int>(GetEnvInt("EGI_DISCORD_THREADS", 2));
+  // EGI_NUM_THREADS (via FromEnv) governs intra-detector parallelism;
+  // EGI_DISCORD_THREADS is honoured as a legacy override when set.
+  s.methods.parallelism = exec::Parallelism::Fixed(static_cast<int>(
+      GetEnvInt("EGI_DISCORD_THREADS", exec::Parallelism::FromEnv().threads)));
   return s;
 }
 

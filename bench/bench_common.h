@@ -14,7 +14,8 @@ namespace egi::bench {
 ///   EGI_SERIES_PER_DATASET   series per dataset (default 25, paper value)
 ///   EGI_DATA_SEED            series-generation seed (default 2020)
 ///   EGI_ENSEMBLE_SIZE        N (default 50)
-///   EGI_DISCORD_THREADS      STOMP threads (default 2)
+///   EGI_NUM_THREADS          intra-detector threads (default: all cores)
+///   EGI_DISCORD_THREADS      legacy thread override (wins when set)
 struct BenchSettings {
   int series_per_dataset = 25;
   uint64_t data_seed = 2020;

@@ -50,13 +50,14 @@ int main() {
 
       core::EnsembleParams p;
       p.ensemble_size = settings.methods.ensemble_size;
+      p.parallelism = settings.methods.parallelism;
       core::EnsembleGiDetector ensemble(p);
       Stopwatch sw;
       auto re = ensemble.Detect(series, window, 3);
       EGI_CHECK(re.ok()) << re.status().ToString();
       const double t_ens = sw.ElapsedSeconds();
 
-      core::DiscordDetector discord(settings.methods.discord_threads);
+      core::DiscordDetector discord(settings.methods.parallelism);
       sw.Restart();
       auto rd = discord.Detect(series, window, 3);
       EGI_CHECK(rd.ok()) << rd.status().ToString();

@@ -207,14 +207,14 @@ Result<std::vector<Anomaly>> SelectGiDetector::Detect(
 
 // ----------------------------------------------------------------- Discord
 
-DiscordDetector::DiscordDetector(int num_threads)
-    : num_threads_(num_threads) {}
+DiscordDetector::DiscordDetector(exec::Parallelism parallelism)
+    : parallelism_(parallelism) {}
 
 Result<std::vector<Anomaly>> DiscordDetector::Detect(
     std::span<const double> series, size_t window_length,
     size_t max_candidates) {
   EGI_ASSIGN_OR_RETURN(auto mp, discord::ComputeMatrixProfileStomp(
-                                    series, window_length, num_threads_));
+                                    series, window_length, parallelism_));
   const auto discords = discord::TopKDiscords(mp, max_candidates);
   std::vector<Anomaly> out;
   out.reserve(discords.size());

@@ -119,10 +119,14 @@ class SelectGiDetector : public AnomalyDetector {
 };
 
 /// The state-of-the-art distance-based baseline: time series discord via the
-/// STOMP matrix profile (the paper's "Discord" method).
+/// STOMP matrix profile (the paper's "Discord" method). By default the row
+/// sweep uses EGI_NUM_THREADS (falling back to hardware_concurrency); the
+/// matrix profile is bitwise-identical for every thread count, so the choice
+/// only affects wall-clock time. An int thread count also converts.
 class DiscordDetector : public AnomalyDetector {
  public:
-  explicit DiscordDetector(int num_threads = 1);
+  explicit DiscordDetector(
+      exec::Parallelism parallelism = exec::Parallelism::FromEnv());
 
   std::string_view name() const override { return "Discord"; }
   Result<std::vector<Anomaly>> Detect(std::span<const double> series,
@@ -130,7 +134,7 @@ class DiscordDetector : public AnomalyDetector {
                                       size_t max_candidates) override;
 
  private:
-  int num_threads_;
+  exec::Parallelism parallelism_;
 };
 
 }  // namespace egi::core

@@ -34,6 +34,9 @@ Status ValidateEnsembleParams(size_t series_length,
   if (params.selectivity <= 0.0 || params.selectivity > 1.0) {
     return Status::InvalidArgument("selectivity must be in (0, 1]");
   }
+  if (params.parallelism.threads < 1) {
+    return Status::InvalidArgument("parallelism.threads must be >= 1");
+  }
   return Status::OK();
 }
 
@@ -144,12 +147,15 @@ Result<std::vector<std::vector<double>>> ComputeMemberDensityCurves(
                                   params.numerosity_reduction);
   EGI_ASSIGN_OR_RETURN(auto discretized, encoder.EncodeAll(sample));
 
-  std::vector<std::vector<double>> curves;
-  curves.reserve(sample.size());
-  for (auto& d : discretized) {
-    curves.push_back(
-        RunGrammarInductionOnTokens(d, params.boundary_correction).density);
-  }
+  // The N grammar-induction runs are independent; each writes only its own
+  // slot, so the parallel result is bitwise-identical to the serial one.
+  std::vector<std::vector<double>> curves(discretized.size());
+  exec::ParallelFor(params.parallelism, 0, discretized.size(), /*grain=*/1,
+                    [&](size_t i) {
+                      curves[i] = RunGrammarInductionOnTokens(
+                                      discretized[i], params.boundary_correction)
+                                      .density;
+                    });
   return curves;
 }
 

@@ -4,6 +4,7 @@
 #include <span>
 #include <vector>
 
+#include "exec/parallel.h"
 #include "sax/multires_encoder.h"
 #include "ts/stats.h"
 #include "util/result.h"
@@ -32,6 +33,11 @@ struct EnsembleParams {
 
   double norm_threshold = ts::kDefaultNormThreshold;
   bool numerosity_reduction = true;
+
+  /// Degree of parallelism for the N member computations (Lines 4-6 of
+  /// Algorithm 1). Each member writes only its own curve slot, so the
+  /// result is bitwise-identical for every thread count (tested).
+  exec::Parallelism parallelism = exec::Parallelism::Serial();
 
   // Ablation knobs (paper behaviour by default, except boundary_correction
   // which fixes a structural edge artifact — see grammar/density.h).

@@ -1,6 +1,7 @@
 #include "discord/hotsax.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 #include <numeric>
@@ -8,6 +9,7 @@
 #include <vector>
 
 #include "discord/internal.h"
+#include "exec/parallel.h"
 #include "sax/sax_encoder.h"
 #include "util/rng.h"
 
@@ -38,6 +40,23 @@ double PairDistSqAbandon(std::span<const double> series, size_t i, size_t j,
   }
   return acc;
 }
+
+// Monotonically raises `target` to at least `value` (the shared pruning
+// threshold of the parallel outer loop).
+void AtomicFetchMax(std::atomic<double>& target, double value) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (cur < value &&
+         !target.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+// Best candidate within one chunk of the outer order: the largest exact
+// nearest-neighbour distance, earliest outer rank on ties.
+struct ChunkBest {
+  double nn_sq = -1.0;
+  size_t rank = std::numeric_limits<size_t>::max();
+  size_t pos = 0;
+};
 
 }  // namespace
 
@@ -88,49 +107,81 @@ Result<std::vector<Discord>> FindDiscordsHotSax(std::span<const double> series,
   std::vector<bool> masked(count, false);
   std::vector<Discord> out;
 
+  // Chunk boundaries over the outer rank order depend only on the candidate
+  // count, so the chunk-local bests (and their rank-ordered merge below) are
+  // identical for every thread count.
+  const size_t grain = std::max<size_t>(32, (count + 63) / 64);
+
   while (out.size() < k) {
-    double best_sq = -1.0;
-    size_t best_pos = count;
+    // Largest completed nearest-neighbour distance of this round, shared
+    // across chunks as a pruning threshold. A candidate abandons only when
+    // its running distance drops strictly below a completed value, so every
+    // candidate tied for the maximum finishes exactly and the merge's rank
+    // order resolves the tie deterministically.
+    std::atomic<double> round_best{-1.0};
+    std::vector<ChunkBest> bests(exec::NumChunks(count, grain));
 
-    for (size_t i : outer) {
-      if (masked[i]) continue;
-      double nn_sq = std::numeric_limits<double>::infinity();
-      bool beaten = false;
+    exec::ParallelForRanges(
+        options.parallelism, 0, count, grain,
+        [&](size_t rank_begin, size_t rank_end) {
+          ChunkBest& local = bests[rank_begin / grain];
+          for (size_t rank = rank_begin; rank < rank_end; ++rank) {
+            const size_t i = outer[rank];
+            if (masked[i]) continue;
+            const double prune = std::max(
+                round_best.load(std::memory_order_relaxed), local.nn_sq);
+            double nn_sq = std::numeric_limits<double>::infinity();
+            bool abandoned = false;
 
-      auto visit = [&](size_t j) {
-        if (beaten) return;
-        const size_t gap = i > j ? i - j : j - i;
-        if (gap < exclusion) return;
-        const double cap = std::min(nn_sq, std::numeric_limits<double>::max());
-        const double d_sq =
-            PairDistSqAbandon(data, i, j, m, means, stds, cap);
-        if (d_sq < nn_sq) nn_sq = d_sq;
-        // If i already has a neighbour closer than the best discord found so
-        // far, i cannot be the discord: abandon this candidate.
-        if (nn_sq <= best_sq) beaten = true;
-      };
+            auto visit = [&](size_t j) {
+              if (abandoned) return;
+              const size_t gap = i > j ? i - j : j - i;
+              if (gap < exclusion) return;
+              const double cap =
+                  std::min(nn_sq, std::numeric_limits<double>::max());
+              const double d_sq =
+                  PairDistSqAbandon(data, i, j, m, means, stds, cap);
+              if (d_sq < nn_sq) nn_sq = d_sq;
+              // A neighbour strictly closer than a completed candidate's
+              // distance rules i out as the discord: abandon.
+              if (nn_sq < prune) abandoned = true;
+            };
 
-      // Same-word neighbours first: most likely to be close, triggering the
-      // abandon early.
-      const int32_t w = word_of[i];
-      for (size_t j : buckets[w]) visit(j);
-      if (!beaten) {
-        for (size_t j : random_order) {
-          if (word_of[j] == w) continue;  // already visited
-          visit(j);
-          if (beaten) break;
-        }
-      }
-      if (!beaten && std::isfinite(nn_sq) && nn_sq > best_sq) {
-        best_sq = nn_sq;
-        best_pos = i;
+            // Same-word neighbours first: most likely to be close,
+            // triggering the abandon early.
+            const int32_t w = word_of[i];
+            for (size_t j : buckets[w]) visit(j);
+            if (!abandoned) {
+              for (size_t j : random_order) {
+                if (word_of[j] == w) continue;  // already visited
+                visit(j);
+                if (abandoned) break;
+              }
+            }
+            if (!abandoned && std::isfinite(nn_sq)) {
+              AtomicFetchMax(round_best, nn_sq);
+              if (nn_sq > local.nn_sq) {
+                local.nn_sq = nn_sq;
+                local.rank = rank;
+                local.pos = i;
+              }
+            }
+          }
+        });
+
+    // Merge: earliest outer rank wins ties, matching the serial
+    // first-achiever semantics.
+    ChunkBest best;
+    for (const ChunkBest& cb : bests) {
+      if (cb.nn_sq > best.nn_sq ||
+          (cb.nn_sq == best.nn_sq && cb.rank < best.rank)) {
+        best = cb;
       }
     }
-
-    if (best_pos == count) break;
-    out.push_back(Discord{best_pos, std::sqrt(best_sq)});
-    const size_t lo = best_pos > m - 1 ? best_pos - (m - 1) : 0;
-    const size_t hi = std::min(count - 1, best_pos + m - 1);
+    if (best.nn_sq < 0.0) break;
+    out.push_back(Discord{best.pos, std::sqrt(best.nn_sq)});
+    const size_t lo = best.pos > m - 1 ? best.pos - (m - 1) : 0;
+    const size_t hi = std::min(count - 1, best.pos + m - 1);
     for (size_t i = lo; i <= hi; ++i) masked[i] = true;
   }
   return out;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "discord/discords.h"
+#include "exec/parallel.h"
 #include "util/result.h"
 
 namespace egi::discord {
@@ -16,6 +17,12 @@ struct HotSaxOptions {
   int paa_size = 3;
   int alphabet_size = 3;
   uint64_t seed = 7;  ///< inner-loop random order (deterministic)
+
+  /// Degree of parallelism for the outer candidate loop. The discovered
+  /// discords (positions and distances) are identical for every thread
+  /// count: candidates are only pruned against completed neighbour
+  /// distances, and ties are resolved by outer-heuristic rank.
+  exec::Parallelism parallelism = exec::Parallelism::Serial();
 };
 
 /// Finds up to `k` mutually non-overlapping discords using the HOTSAX

@@ -4,6 +4,7 @@
 #include <span>
 #include <vector>
 
+#include "exec/parallel.h"
 #include "util/result.h"
 
 namespace egi::discord {
@@ -38,12 +39,18 @@ Result<MatrixProfile> ComputeMatrixProfileBrute(std::span<const double> series,
                                                 size_t exclusion_radius = 0);
 
 /// STOMP (Zhu et al. 2016, ref [23] of the paper): O(n^2) with O(1) work per
-/// cell via the sliding dot-product recurrence. `num_threads > 1` splits the
-/// row range across threads (each seeds its first row with a direct dot
-/// product). `exclusion_radius == 0` selects DefaultExclusionRadius(m).
-Result<MatrixProfile> ComputeMatrixProfileStomp(std::span<const double> series,
-                                                size_t window_length,
-                                                int num_threads = 1,
-                                                size_t exclusion_radius = 0);
+/// cell via the sliding dot-product recurrence. The row range is split into
+/// blocks whose boundaries depend only on the profile length (never on the
+/// thread count); each block seeds its first row with a direct dot product
+/// and recurs from there, so the result is bitwise-identical for every
+/// `parallelism` value. The block count is capped (16 at present) to bound
+/// the re-seeding overhead, which also caps the useful thread count for
+/// this function at that number of blocks. `exclusion_radius == 0` selects
+/// DefaultExclusionRadius(m). An int thread count is accepted here for
+/// compatibility (Parallelism converts implicitly).
+Result<MatrixProfile> ComputeMatrixProfileStomp(
+    std::span<const double> series, size_t window_length,
+    exec::Parallelism parallelism = exec::Parallelism::Serial(),
+    size_t exclusion_radius = 0);
 
 }  // namespace egi::discord

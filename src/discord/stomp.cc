@@ -1,11 +1,11 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <thread>
 #include <vector>
 
 #include "discord/internal.h"
 #include "discord/matrix_profile.h"
+#include "exec/parallel.h"
 
 namespace egi::discord {
 
@@ -59,16 +59,30 @@ void StompRows(std::span<const double> series, size_t m,
   }
 }
 
+// Each row block re-seeds the recurrence, so block boundaries are part of
+// the numerical result: they must depend only on the profile length, never
+// on the thread count, for the bitwise-identity guarantee of
+// matrix_profile.h to hold. At most kMaxRowBlocks blocks bounds the total
+// re-seeding cost at 16 * n * m — vanishing next to the O(n^2) recurrence
+// for long series.
+constexpr size_t kMinRowsPerBlock = 64;
+constexpr size_t kMaxRowBlocks = 16;
+
+size_t StompRowGrain(size_t count) {
+  return std::max(kMinRowsPerBlock,
+                  (count + kMaxRowBlocks - 1) / kMaxRowBlocks);
+}
+
 }  // namespace
 
 Result<MatrixProfile> ComputeMatrixProfileStomp(std::span<const double> series,
                                                 size_t window_length,
-                                                int num_threads,
+                                                exec::Parallelism parallelism,
                                                 size_t exclusion_radius) {
   EGI_RETURN_IF_ERROR(
       internal::ValidateMatrixProfileInput(series, window_length));
-  if (num_threads < 1) {
-    return Status::InvalidArgument("num_threads must be >= 1");
+  if (parallelism.threads < 1) {
+    return Status::InvalidArgument("parallelism.threads must be >= 1");
   }
   if (exclusion_radius == 0)
     exclusion_radius = DefaultExclusionRadius(window_length);
@@ -88,24 +102,13 @@ Result<MatrixProfile> ComputeMatrixProfileStomp(std::span<const double> series,
   mp.distances.assign(count, std::numeric_limits<double>::infinity());
   mp.indices.assign(count, count);
 
-  const size_t workers =
-      std::min<size_t>(static_cast<size_t>(num_threads), count);
-  if (workers <= 1) {
-    StompRows(data, m, exclusion_radius, means, stds, 0, count, &mp);
-    return mp;
-  }
-
-  std::vector<std::thread> threads;
-  threads.reserve(workers);
-  const size_t chunk = (count + workers - 1) / workers;
-  for (size_t t = 0; t < workers; ++t) {
-    const size_t begin = t * chunk;
-    const size_t end = std::min(count, begin + chunk);
-    if (begin >= end) break;
-    threads.emplace_back(StompRows, data, m, exclusion_radius,
-                         std::cref(means), std::cref(stds), begin, end, &mp);
-  }
-  for (auto& th : threads) th.join();
+  // Row blocks write disjoint mp entries; the serial path runs the same
+  // blocks in order, so outputs match the parallel path bit for bit.
+  exec::ParallelForRanges(parallelism, 0, count, StompRowGrain(count),
+                          [&](size_t row_begin, size_t row_end) {
+                            StompRows(data, m, exclusion_radius, means, stds,
+                                      row_begin, row_end, &mp);
+                          });
   return mp;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "exec/parallel.h"
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -34,25 +35,54 @@ std::vector<datasets::PlantedSeries> MakeEvaluationSeries(
 ExperimentResult RunExperiment(
     std::span<const datasets::UcrDataset> datasets_to_run,
     std::span<const Method> methods, const ExperimentConfig& config) {
-  ExperimentResult result;
-  for (datasets::UcrDataset dataset : datasets_to_run) {
-    const auto series_set = MakeEvaluationSeries(
-        dataset, config.series_per_dataset, config.data_seed);
-    const size_t instance_len = datasets::GetDatasetSpec(dataset).instance_length;
-    const auto window = static_cast<size_t>(
-        std::max(2.0, config.window_fraction * static_cast<double>(instance_len)));
+  const size_t num_datasets = datasets_to_run.size();
+  const size_t num_methods = methods.size();
 
-    for (Method method : methods) {
-      auto detector = MakeMethod(method, config.method_config);
-      MethodAggregate agg;
-      agg.scores.reserve(series_set.size());
-      for (const auto& s : series_set) {
-        auto candidates = detector->Detect(s.values, window, config.top_k);
-        EGI_CHECK(candidates.ok())
-            << MethodName(method) << ": " << candidates.status().ToString();
-        agg.scores.push_back(BestScore(candidates.value(), s.anomaly));
-      }
-      result.scores[dataset][method] = std::move(agg);
+  // Evaluation series are generated once per dataset (serially — generation
+  // is cheap) and shared read-only by that dataset's method cells.
+  struct DatasetInputs {
+    std::vector<datasets::PlantedSeries> series;
+    size_t window = 0;
+  };
+  std::vector<DatasetInputs> inputs(num_datasets);
+  for (size_t d = 0; d < num_datasets; ++d) {
+    inputs[d].series = MakeEvaluationSeries(
+        datasets_to_run[d], config.series_per_dataset, config.data_seed);
+    const size_t instance_len =
+        datasets::GetDatasetSpec(datasets_to_run[d]).instance_length;
+    inputs[d].window = static_cast<size_t>(std::max(
+        2.0, config.window_fraction * static_cast<double>(instance_len)));
+  }
+
+  // One cell per (dataset, method). Every cell owns a fresh detector and
+  // walks its series in order, so stateful detectors (e.g. GI-Random's
+  // per-call substream) see exactly the serial call sequence and the scores
+  // are identical for every thread count.
+  std::vector<MethodAggregate> cells(num_datasets * num_methods);
+  exec::ParallelFor(
+      config.parallelism, 0, cells.size(), /*grain=*/1, [&](size_t idx) {
+        const size_t d = idx / num_methods;
+        const Method method = methods[idx % num_methods];
+        const DatasetInputs& in = inputs[d];
+
+        auto detector = MakeMethod(method, config.method_config);
+        MethodAggregate agg;
+        agg.scores.reserve(in.series.size());
+        for (const auto& s : in.series) {
+          auto candidates =
+              detector->Detect(s.values, in.window, config.top_k);
+          EGI_CHECK(candidates.ok())
+              << MethodName(method) << ": " << candidates.status().ToString();
+          agg.scores.push_back(BestScore(candidates.value(), s.anomaly));
+        }
+        cells[idx] = std::move(agg);
+      });
+
+  ExperimentResult result;
+  for (size_t d = 0; d < num_datasets; ++d) {
+    for (size_t m = 0; m < num_methods; ++m) {
+      result.scores[datasets_to_run[d]][methods[m]] =
+          std::move(cells[d * num_methods + m]);
     }
   }
   return result;

@@ -20,6 +20,12 @@ struct ExperimentConfig {
   double window_fraction = 1.0;  ///< n = fraction * na (Tables 13/14 sweep)
   uint64_t data_seed = 2020;     ///< seed for series generation
   MethodConfig method_config;
+
+  /// Degree of parallelism across (dataset, method) experiment cells. Each
+  /// cell builds its own detector and walks its series serially, so scores
+  /// are identical to a serial run for every thread count; detectors that
+  /// parallelize internally fall back to serial inside a parallel sweep.
+  exec::Parallelism parallelism = exec::Parallelism::FromEnv();
 };
 
 /// Per-dataset, per-method evaluation outcome: the best-of-top-k Score for

@@ -30,6 +30,7 @@ std::unique_ptr<core::AnomalyDetector> MakeMethod(Method method,
       p.ensemble_size = config.ensemble_size;
       p.selectivity = config.selectivity;
       p.seed = config.seed;
+      p.parallelism = config.parallelism;
       return std::make_unique<core::EnsembleGiDetector>(p);
     }
     case Method::kGiRandom:
@@ -41,7 +42,7 @@ std::unique_ptr<core::AnomalyDetector> MakeMethod(Method method,
       return std::make_unique<core::SelectGiDetector>(config.wmax,
                                                       config.amax, 0.1);
     case Method::kDiscord:
-      return std::make_unique<core::DiscordDetector>(config.discord_threads);
+      return std::make_unique<core::DiscordDetector>(config.parallelism);
   }
   EGI_CHECK(false) << "unknown method";
   return nullptr;

@@ -36,7 +36,10 @@ struct MethodConfig {
   int ensemble_size = 50;
   double selectivity = 0.4;
   uint64_t seed = 42;
-  int discord_threads = 1;
+  /// Intra-detector parallelism (ensemble member curves, STOMP rows).
+  /// Results are bitwise-identical for every thread count; defaults to
+  /// EGI_NUM_THREADS / hardware_concurrency.
+  exec::Parallelism parallelism = exec::Parallelism::FromEnv();
 };
 
 /// Builds a configured detector for one of the paper's methods.

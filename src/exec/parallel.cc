@@ -1,0 +1,185 @@
+#include "exec/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+
+#include "util/env.h"
+
+namespace egi::exec {
+
+namespace {
+
+thread_local bool tls_in_parallel_region = false;
+
+/// RAII marker for "this thread is inside a parallel region".
+class ScopedRegion {
+ public:
+  ScopedRegion() : prev_(tls_in_parallel_region) {
+    tls_in_parallel_region = true;
+  }
+  ~ScopedRegion() { tls_in_parallel_region = prev_; }
+
+ private:
+  bool prev_;
+};
+
+/// State shared between the caller and the helper tasks of one region.
+struct RegionState {
+  const std::function<void(size_t)>* chunk_fn = nullptr;
+  size_t num_chunks = 0;
+  std::atomic<size_t> next{0};
+  std::atomic<bool> abort{false};
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  int pending_helpers = 0;
+  std::exception_ptr first_exception;
+};
+
+// Claims chunks until the counter is exhausted or a chunk failed.
+void DrainChunks(RegionState& state) {
+  ScopedRegion region;
+  while (!state.abort.load(std::memory_order_relaxed)) {
+    const size_t c = state.next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= state.num_chunks) break;
+    try {
+      (*state.chunk_fn)(c);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(state.mu);
+      if (state.first_exception == nullptr) {
+        state.first_exception = std::current_exception();
+      }
+      state.abort.store(true, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace
+
+Parallelism Parallelism::FromEnv() { return Parallelism(GetEnvNumThreads()); }
+
+ThreadPool::ThreadPool(int num_workers) {
+  const int n = std::max(0, num_workers);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] {
+      for (;;) {
+        std::function<void()> task;
+        {
+          std::unique_lock<std::mutex> lock(mu_);
+          cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+          if (stop_ && queue_.empty()) return;
+          task = std::move(queue_.front());
+          queue_.pop_front();
+        }
+        task();
+      }
+    });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+ThreadPool& ThreadPool::Shared() {
+  // Capacity, not policy: sized to the larger of the hardware, the
+  // EGI_NUM_THREADS request, and a floor that lets thread-sweep benches
+  // oversubscribe small machines — hard-capped so an absurd request can't
+  // exhaust thread-creation resources (no workload here gains past 64
+  // threads). Idle workers just sleep on the queue. Leaked deliberately:
+  // joining workers during static destruction can deadlock, and the OS
+  // reclaims everything at exit anyway.
+  constexpr int kMaxSharedPoolThreads = 64;
+  static ThreadPool* pool = new ThreadPool(
+      std::min(kMaxSharedPoolThreads,
+               std::max({GetEnvNumThreads(),
+                         static_cast<int>(std::thread::hardware_concurrency()),
+                         8})) -
+      1);
+  return *pool;
+}
+
+bool ThreadPool::InParallelRegion() { return tls_in_parallel_region; }
+
+void ThreadPool::Enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::RunChunks(size_t num_chunks, int max_concurrency,
+                           const std::function<void(size_t)>& chunk_fn) {
+  if (num_chunks == 0) return;
+  if (num_chunks == 1 || max_concurrency <= 1 || tls_in_parallel_region) {
+    ScopedRegion region;
+    for (size_t c = 0; c < num_chunks; ++c) chunk_fn(c);
+    return;
+  }
+
+  // shared_ptr so helper tasks that wake after the region finished (they
+  // find the counter exhausted) still have valid state to touch.
+  auto state = std::make_shared<RegionState>();
+  state->chunk_fn = &chunk_fn;
+  state->num_chunks = num_chunks;
+
+  const int helpers = static_cast<int>(
+      std::min<size_t>({static_cast<size_t>(max_concurrency - 1),
+                        static_cast<size_t>(num_workers()), num_chunks - 1}));
+  state->pending_helpers = helpers;
+  for (int h = 0; h < helpers; ++h) {
+    Enqueue([state] {
+      DrainChunks(*state);
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (--state->pending_helpers == 0) state->done_cv.notify_all();
+    });
+  }
+
+  DrainChunks(*state);
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done_cv.wait(lock, [&] { return state->pending_helpers == 0; });
+  if (state->first_exception != nullptr) {
+    std::rethrow_exception(state->first_exception);
+  }
+}
+
+size_t NumChunks(size_t range, size_t grain) {
+  grain = std::max<size_t>(1, grain);
+  return (range + grain - 1) / grain;
+}
+
+void ParallelForRanges(const Parallelism& par, size_t begin, size_t end,
+                       size_t grain,
+                       const std::function<void(size_t, size_t)>& fn) {
+  if (end <= begin) return;
+  grain = std::max<size_t>(1, grain);
+  const size_t chunks = NumChunks(end - begin, grain);
+  const auto chunk_fn = [&](size_t c) {
+    const size_t b = begin + c * grain;
+    fn(b, std::min(end, b + grain));
+  };
+  if (par.serial() || chunks == 1 || ThreadPool::InParallelRegion()) {
+    for (size_t c = 0; c < chunks; ++c) chunk_fn(c);
+    return;
+  }
+  ThreadPool::Shared().RunChunks(chunks, par.threads, chunk_fn);
+}
+
+void ParallelFor(const Parallelism& par, size_t begin, size_t end,
+                 size_t grain, const std::function<void(size_t)>& fn) {
+  ParallelForRanges(par, begin, end, grain, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) fn(i);
+  });
+}
+
+}  // namespace egi::exec

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace egi::exec {
+
+/// Degree-of-parallelism configuration plumbed through the library's hot
+/// paths (ensemble members, matrix profile rows, HOTSAX candidates,
+/// experiment cells). A value of 1 selects the serial path; chunk boundaries
+/// are always derived from the range and grain alone — never from the thread
+/// count — so results are bitwise-identical for every `threads` value (see
+/// DESIGN.md, "Concurrency model").
+struct Parallelism {
+  int threads = 1;
+
+  Parallelism() = default;
+  // Implicit so legacy `num_threads` integer call sites keep working.
+  Parallelism(int t) : threads(t) {}  // NOLINT(runtime/explicit)
+
+  static Parallelism Serial() { return Parallelism(1); }
+  static Parallelism Fixed(int threads) { return Parallelism(threads); }
+
+  /// EGI_NUM_THREADS from the environment, defaulting to
+  /// hardware_concurrency and clamped to >= 1 (util/env).
+  static Parallelism FromEnv();
+
+  bool serial() const { return threads <= 1; }
+};
+
+/// Cache-friendly fixed-worker thread pool (no work stealing): parallel
+/// regions hand out contiguous chunk indices from a shared atomic counter,
+/// the calling thread participates, and the call blocks until every chunk
+/// has run. The first exception thrown by any chunk aborts the remaining
+/// chunks and is rethrown on the calling thread.
+///
+/// Most code should use ParallelFor/ParallelForRanges below, which route
+/// through the lazily-created process-wide Shared() pool. Dedicated pools
+/// are for tests and embedders that need isolated worker sets.
+class ThreadPool {
+ public:
+  /// Spawns `num_workers` background workers (0 is allowed: every region
+  /// then runs entirely on the calling thread).
+  explicit ThreadPool(int num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Process-wide pool, created on first use and intentionally leaked so
+  /// exit never blocks on worker teardown. Sized generously (see .cc); the
+  /// per-call concurrency cap is `max_concurrency` / Parallelism::threads.
+  static ThreadPool& Shared();
+
+  /// True while the current thread is executing inside a parallel region.
+  /// ParallelFor uses this to run nested regions serially inline.
+  static bool InParallelRegion();
+
+  /// Invokes `chunk_fn(c)` for every c in [0, num_chunks), using at most
+  /// `max_concurrency` threads (the caller plus up to max_concurrency - 1
+  /// pool workers). Blocks until all chunks completed; rethrows the first
+  /// exception. Nested calls (from inside a chunk) run serially inline.
+  void RunChunks(size_t num_chunks, int max_concurrency,
+                 const std::function<void(size_t)>& chunk_fn);
+
+ private:
+  void Enqueue(std::function<void()> task);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+};
+
+/// Number of chunks a range of `range` items splits into at the given grain
+/// (minimum items per chunk). Depends only on its arguments — this is the
+/// determinism contract callers rely on.
+size_t NumChunks(size_t range, size_t grain);
+
+/// Invokes `fn(i)` for every i in [begin, end), split into chunks of at most
+/// `grain` indices executed with at most `par.threads` threads from the
+/// shared pool. Serial (in-order, inline) when par is serial, the range fits
+/// one chunk, or the caller is already inside a parallel region.
+void ParallelFor(const Parallelism& par, size_t begin, size_t end,
+                 size_t grain, const std::function<void(size_t)>& fn);
+
+/// Chunk-granular variant: invokes `fn(chunk_begin, chunk_end)` once per
+/// chunk, for algorithms that carry per-chunk state across a contiguous
+/// range (e.g. the STOMP row recurrence). Chunk boundaries depend only on
+/// (begin, end, grain), so outputs that are a function of the chunking are
+/// still identical across thread counts.
+void ParallelForRanges(const Parallelism& par, size_t begin, size_t end,
+                       size_t grain,
+                       const std::function<void(size_t, size_t)>& fn);
+
+}  // namespace egi::exec

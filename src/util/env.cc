@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cctype>
 #include <cstdlib>
+#include <limits>
+#include <thread>
 
 namespace egi {
 
@@ -39,6 +41,15 @@ std::string GetEnvString(const char* name, const std::string& fallback) {
   const char* raw = std::getenv(name);
   if (raw == nullptr || *raw == '\0') return fallback;
   return raw;
+}
+
+int GetEnvNumThreads() {
+  const int64_t requested = GetEnvInt("EGI_NUM_THREADS", 0);
+  if (requested >= 1) {
+    return static_cast<int>(
+        std::min<int64_t>(requested, std::numeric_limits<int>::max()));
+  }
+  return std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
 }
 
 }  // namespace egi

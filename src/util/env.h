@@ -20,4 +20,9 @@ double GetEnvDouble(const char* name, double fallback);
 /// Reads a string env var with fallback.
 std::string GetEnvString(const char* name, const std::string& fallback);
 
+/// Resolves the library-wide thread-count knob: EGI_NUM_THREADS when set to
+/// a positive integer, otherwise hardware_concurrency; always clamped >= 1.
+/// exec::Parallelism::FromEnv() is the usual consumer.
+int GetEnvNumThreads();
+
 }  // namespace egi
