@@ -1,6 +1,9 @@
 #include "bench_common.h"
 
+#include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <ostream>
 
 #include "core/detector.h"
 #include "eval/metrics.h"
@@ -98,6 +101,91 @@ eval::ExperimentResult RunMainExperiment(const BenchSettings& settings) {
   cfg.data_seed = settings.data_seed;
   cfg.method_config = settings.methods;
   return eval::RunExperiment(datasets::kAllDatasets, eval::kAllMethods, cfg);
+}
+
+// ------------------------------------------------- machine-readable output
+
+bool JsonOutputEnabled(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) return true;
+  }
+  return GetEnvBool("EGI_BENCH_JSON", false);
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+JsonRecord::JsonRecord(const std::string& bench) {
+  AddRaw("bench", '"' + JsonEscape(bench) + '"');
+}
+
+JsonRecord& JsonRecord::AddRaw(const std::string& key,
+                               const std::string& raw) {
+  if (!body_.empty()) body_ += ',';
+  body_ += '"' + JsonEscape(key) + "\":" + raw;
+  return *this;
+}
+
+JsonRecord& JsonRecord::Add(const std::string& key, const std::string& value) {
+  return AddRaw(key, '"' + JsonEscape(value) + '"');
+}
+
+JsonRecord& JsonRecord::Add(const std::string& key, const char* value) {
+  return Add(key, std::string(value));
+}
+
+JsonRecord& JsonRecord::Add(const std::string& key, double value) {
+  if (!std::isfinite(value)) return AddRaw(key, "null");
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return AddRaw(key, buf);
+}
+
+JsonRecord& JsonRecord::Add(const std::string& key, int64_t value) {
+  return AddRaw(key, std::to_string(value));
+}
+
+JsonRecord& JsonRecord::Add(const std::string& key, uint64_t value) {
+  return AddRaw(key, std::to_string(value));
+}
+
+JsonRecord& JsonRecord::Add(const std::string& key, bool value) {
+  return AddRaw(key, value ? "true" : "false");
+}
+
+void JsonRecord::Emit(std::ostream& os) const {
+  os << '{' << body_ << "}\n" << std::flush;
 }
 
 }  // namespace egi::bench

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -48,5 +50,42 @@ BaselinePick BestGiBaseline(datasets::UcrDataset dataset,
 
 /// Runs the main 5-method experiment of Section 7.1 (Tables 4/5/6, Fig 10).
 eval::ExperimentResult RunMainExperiment(const BenchSettings& settings);
+
+// ------------------------------------------------- machine-readable output
+
+/// True when the binary was invoked with `--json` (or EGI_BENCH_JSON=1).
+/// In JSON mode benches emit one JSON object per line on stdout (and keep
+/// human-readable tables off it), so results redirect cleanly into
+/// BENCH_*.json files trackable across PRs.
+bool JsonOutputEnabled(int argc, char** argv);
+
+/// Builder for one JSON-lines bench record:
+///   JsonRecord("micro_stream").Add("streams", 4).Add("points_per_sec", r)
+///       .Emit(std::cout);
+/// prints `{"bench":"micro_stream","streams":4,"points_per_sec":...}\n`.
+/// Doubles are rendered with enough digits to round-trip; non-finite
+/// doubles become null (JSON has no NaN/Inf literal).
+class JsonRecord {
+ public:
+  explicit JsonRecord(const std::string& bench);
+
+  JsonRecord& Add(const std::string& key, const std::string& value);
+  JsonRecord& Add(const std::string& key, const char* value);
+  JsonRecord& Add(const std::string& key, double value);
+  JsonRecord& Add(const std::string& key, int64_t value);
+  JsonRecord& Add(const std::string& key, uint64_t value);
+  JsonRecord& Add(const std::string& key, int value) {
+    return Add(key, static_cast<int64_t>(value));
+  }
+  JsonRecord& Add(const std::string& key, bool value);
+
+  /// Writes the record as one line and flushes.
+  void Emit(std::ostream& os) const;
+
+ private:
+  JsonRecord& AddRaw(const std::string& key, const std::string& raw);
+
+  std::string body_;
+};
 
 }  // namespace egi::bench

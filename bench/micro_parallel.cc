@@ -37,20 +37,23 @@ double Checksum(const std::vector<double>& v) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace egi;
+  const bool json = bench::JsonOutputEnabled(argc, argv);
   const bool quick = GetEnvBool("EGI_BENCH_QUICK", false);
   const size_t series_len = quick ? 4000 : 16000;
   const size_t window = 128;
   const int ensemble_n = quick ? 30 : 50;
   const std::vector<int> thread_counts{1, 2, 4, 8};
 
-  std::printf("== Parallel execution engine: thread sweep ==\n");
-  std::printf(
-      "series length %zu, window %zu, N = %d, hardware_concurrency = %u, "
-      "EGI_NUM_THREADS default = %d%s\n\n",
-      series_len, window, ensemble_n, std::thread::hardware_concurrency(),
-      GetEnvNumThreads(), quick ? " [QUICK]" : "");
+  if (!json) {
+    std::printf("== Parallel execution engine: thread sweep ==\n");
+    std::printf(
+        "series length %zu, window %zu, N = %d, hardware_concurrency = %u, "
+        "EGI_NUM_THREADS default = %d%s\n\n",
+        series_len, window, ensemble_n, std::thread::hardware_concurrency(),
+        GetEnvNumThreads(), quick ? " [QUICK]" : "");
+  }
 
   Rng rng(2020);
   const auto series = datasets::MakeRandomWalk(series_len, rng);
@@ -113,15 +116,31 @@ int main() {
         EGI_CHECK(checksum == checksum1)
             << wl.name << " diverged at " << t << " threads";
       }
-      table.AddRow({std::to_string(t), FormatDouble(elapsed, 3),
-                    FormatDouble(t1 / std::max(elapsed, 1e-9), 2) + "x",
-                    FormatDouble(checksum, 4)});
+      if (json) {
+        bench::JsonRecord("micro_parallel")
+            .Add("workload", wl.name)
+            .Add("threads", t)
+            .Add("series_length", static_cast<int64_t>(series_len))
+            .Add("seconds", elapsed)
+            .Add("speedup", t1 / std::max(elapsed, 1e-9))
+            .Add("checksum", checksum)
+            .Add("quick", quick)
+            .Emit(std::cout);
+      } else {
+        table.AddRow({std::to_string(t), FormatDouble(elapsed, 3),
+                      FormatDouble(t1 / std::max(elapsed, 1e-9), 2) + "x",
+                      FormatDouble(checksum, 4)});
+      }
     }
-    table.Print(std::cout);
-    std::cout << '\n';
+    if (!json) {
+      table.Print(std::cout);
+      std::cout << '\n';
+    }
   }
-  std::printf(
-      "identical checksums demonstrate the determinism guarantee; speedup "
-      "saturates\nat the physical core count.\n");
+  if (!json) {
+    std::printf(
+        "identical checksums demonstrate the determinism guarantee; speedup "
+        "saturates\nat the physical core count.\n");
+  }
   return 0;
 }

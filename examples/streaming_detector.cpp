@@ -1,0 +1,82 @@
+// Streaming detection: score an endless feed online instead of batch-running
+// Algorithm 1 over a complete series. The detector keeps a ring-buffered
+// window of recent history, scores every arriving point immediately against
+// the last fitted ensemble (rare SAX word -> low density -> anomalous), and
+// re-fits the full batch ensemble every `refit_interval` points — at which
+// moment its scores are bitwise-identical to ComputeEnsembleDensity on the
+// buffered window.
+//
+// Build & run:  ./build/streaming_detector
+
+#include <cstdio>
+
+#include "datasets/planted.h"
+#include "stream/detector.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace egi;
+
+  // A synthetic ECG feed with one anomalous beat somewhere in the middle —
+  // but unlike the quickstart, the detector never sees the whole series.
+  Rng rng(/*seed=*/7);
+  const auto data =
+      datasets::MakePlantedSeries(datasets::UcrDataset::kTwoLeadEcg, rng);
+  std::printf(
+      "simulating a stream of %zu points; the planted anomaly lives at "
+      "[%zu, %zu)\n",
+      data.values.size(), data.anomaly.start, data.anomaly.end());
+
+  // Configure the online detector: one heartbeat (82 samples) as the
+  // sliding window, a 1024-point buffered history, a full ensemble refit
+  // every 256 points. Everything else is the paper's Algorithm 1 setup.
+  stream::StreamDetectorOptions options;
+  options.ensemble.window_length = 82;
+  options.buffer_capacity = 1024;
+  options.refit_interval = 256;
+  stream::StreamDetector detector(options);
+
+  // Feed the stream point by point and alert on low-density scores. The
+  // threshold is relative: we alert when a scored point falls below 10% of
+  // the normalized ensemble density.
+  const double alert_threshold = 0.10;
+  size_t alerts = 0, refits = 0;
+  uint64_t first_hit = 0;
+  bool hit_anomaly = false;
+  for (const double v : data.values) {
+    const stream::ScoredPoint pt = detector.Append(v);
+    if (pt.refit) ++refits;
+    // Alert on the incremental scores only: the newest point of a batch
+    // curve sits at the window-coverage edge where rule density is
+    // structurally near zero, so the refit point itself is not a signal.
+    if (!pt.scored || pt.refit || pt.score >= alert_threshold) continue;
+    ++alerts;
+    const bool in_anomaly =
+        pt.index >= data.anomaly.start && pt.index < data.anomaly.end();
+    if (in_anomaly && !hit_anomaly) {
+      hit_anomaly = true;
+      first_hit = pt.index;
+    }
+    if (alerts <= 8) {
+      std::printf("  alert @ %6llu  score %.4f%s\n",
+                  static_cast<unsigned long long>(pt.index), pt.score,
+                  in_anomaly ? "  <-- inside the planted anomaly" : "");
+    }
+  }
+
+  std::printf(
+      "\n%zu full refits, %zu alerts below %.0f%% density; rolling window "
+      "mean %.3f / std %.3f at end of stream\n",
+      refits, alerts, alert_threshold * 100.0, detector.window().WindowMean(),
+      detector.window().WindowStdDev());
+  if (hit_anomaly) {
+    std::printf(
+        "the planted anomaly was flagged online at point %llu — %llu points "
+        "after it began.\n",
+        static_cast<unsigned long long>(first_hit),
+        static_cast<unsigned long long>(first_hit - data.anomaly.start));
+  } else {
+    std::printf("the planted anomaly was not flagged - try another seed.\n");
+  }
+  return 0;
+}

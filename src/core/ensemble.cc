@@ -133,7 +133,7 @@ std::vector<double> CombineMemberCurves(
 
 Result<std::vector<std::vector<double>>> ComputeMemberDensityCurves(
     std::span<const double> series, const EnsembleParams& params,
-    std::vector<sax::WaParam>* out_sample) {
+    std::vector<sax::WaParam>* out_sample, EnsembleArtifacts* artifacts) {
   EGI_RETURN_IF_ERROR(sax::ValidateSeriesValues(series));
   EGI_RETURN_IF_ERROR(ValidateEnsembleParams(series.size(), params));
 
@@ -156,14 +156,17 @@ Result<std::vector<std::vector<double>>> ComputeMemberDensityCurves(
                                       discretized[i], params.boundary_correction)
                                       .density;
                     });
+  if (artifacts != nullptr) artifacts->discretized = std::move(discretized);
   return curves;
 }
 
 Result<EnsembleResult> ComputeEnsembleDensity(std::span<const double> series,
-                                              const EnsembleParams& params) {
+                                              const EnsembleParams& params,
+                                              EnsembleArtifacts* artifacts) {
   std::vector<sax::WaParam> sample;
-  EGI_ASSIGN_OR_RETURN(auto curves,
-                       ComputeMemberDensityCurves(series, params, &sample));
+  EGI_ASSIGN_OR_RETURN(
+      auto curves,
+      ComputeMemberDensityCurves(series, params, &sample, artifacts));
 
   std::vector<double> stds;
   std::vector<bool> kept;

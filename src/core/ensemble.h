@@ -65,6 +65,14 @@ struct EnsembleResult {
 Status ValidateEnsembleParams(size_t series_length,
                               const EnsembleParams& params);
 
+/// Per-member by-products of an ensemble run that callers may capture to
+/// avoid re-deriving them (aligned 1:1 with the drawn sample / the result's
+/// `members`). The streaming detector reuses the discretizations to build
+/// its incremental word-frequency models without a second encode pass.
+struct EnsembleArtifacts {
+  std::vector<sax::DiscretizedSeries> discretized;
+};
+
 /// Draws `count` distinct (w, a) pairs uniformly from [2,wmax] x [2,amax]
 /// (Line 5 of Algorithm 1; each combination used at most once). When `count`
 /// exceeds the grid size the whole grid is returned in random order.
@@ -73,19 +81,23 @@ std::vector<sax::WaParam> DrawParameterSample(int wmax, int amax, int count,
 
 /// Runs Algorithm 1 end to end: draw parameters, build N rule density curves
 /// (sharing discretization through the multi-resolution encoder), filter by
-/// standard deviation, normalize, and combine.
-Result<EnsembleResult> ComputeEnsembleDensity(std::span<const double> series,
-                                              const EnsembleParams& params);
+/// standard deviation, normalize, and combine. `artifacts` (optional)
+/// receives the per-member discretizations the run computed anyway.
+Result<EnsembleResult> ComputeEnsembleDensity(
+    std::span<const double> series, const EnsembleParams& params,
+    EnsembleArtifacts* artifacts = nullptr);
 
 /// Lines 4-6 of Algorithm 1 in isolation: the N raw member density curves
 /// for the parameter draw of `params` (before filtering/normalization).
 /// `out_sample` (optional) receives the drawn (w, a) pairs. Exposed so the
 /// N- and tau-sweep benches can compute member curves once and re-combine
 /// them many ways; a prefix of a without-replacement draw is itself a valid
-/// smaller draw, so N-sweeps may reuse prefixes.
+/// smaller draw, so N-sweeps may reuse prefixes. `artifacts` (optional)
+/// receives the per-member discretizations.
 Result<std::vector<std::vector<double>>> ComputeMemberDensityCurves(
     std::span<const double> series, const EnsembleParams& params,
-    std::vector<sax::WaParam>* out_sample = nullptr);
+    std::vector<sax::WaParam>* out_sample = nullptr,
+    EnsembleArtifacts* artifacts = nullptr);
 
 /// Steps 7-14 of Algorithm 1 in isolation: given precomputed member curves,
 /// applies the selectivity filter, normalization, and combination. Exposed

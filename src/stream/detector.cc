@@ -1,0 +1,187 @@
+#include "stream/detector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "sax/breakpoints.h"
+#include "sax/paa.h"
+#include "ts/stats.h"
+#include "util/check.h"
+
+namespace egi::stream {
+
+StreamDetector::StreamDetector(StreamDetectorOptions options)
+    : options_(options),
+      window_(options.buffer_capacity, options.ensemble.window_length),
+      scores_(options.buffer_capacity) {
+  EGI_CHECK(options_.refit_interval >= 1) << "refit_interval must be >= 1";
+  // The buffered window is the longest series a refit will ever see; if the
+  // ensemble parameters are invalid for it they are invalid for every
+  // prefix, so fail fast here instead of at the first refit.
+  const Status st =
+      core::ValidateEnsembleParams(options_.buffer_capacity, options_.ensemble);
+  EGI_CHECK(st.ok()) << "invalid streaming ensemble params: " << st.ToString();
+}
+
+ScoredPoint StreamDetector::Append(double value) {
+  ScoredPoint pt;
+  pt.index = appended_;
+  pt.value = value;
+  ++appended_;
+  if (!std::isfinite(value)) return pt;  // rejected: not buffered, unscored
+
+  window_.Append(value);
+  ++since_refit_;
+
+  // Incremental path: score the one new sliding window against the model
+  // fitted at the last refit.
+  double score = std::numeric_limits<double>::quiet_NaN();
+  if (fitted() && window_.WindowReady()) {
+    score = ProvisionalScore();
+    pt.score = score;
+    pt.scored = true;
+    pt.provisional = true;
+  }
+  scores_.PushBack(score);
+
+  // Amortized refit: replace the whole curve with the batch result.
+  if (since_refit_ >= options_.refit_interval &&
+      window_.size() >= window_length()) {
+    if (RefitNow().ok()) {
+      pt.score = scores_.back();  // exact batch density for this point
+      pt.scored = true;
+      pt.provisional = false;
+      pt.refit = true;
+    }
+  }
+  return pt;
+}
+
+std::vector<ScoredPoint> StreamDetector::Ingest(
+    std::span<const double> values) {
+  std::vector<ScoredPoint> out;
+  out.reserve(values.size());
+  for (const double v : values) out.push_back(Append(v));
+  return out;
+}
+
+Status StreamDetector::ForceRefit() { return RefitNow(); }
+
+Status StreamDetector::RefitNow() {
+  if (window_.size() < window_length()) {
+    last_refit_status_ = Status::FailedPrecondition(
+        "refit needs at least one full window buffered");
+    return last_refit_status_;
+  }
+  const std::vector<double> snapshot = window_.Snapshot();
+
+  // The replay-equivalence contract: this is literally the batch Algorithm 1
+  // on the buffered window, so ScoresSnapshot() right after a refit is
+  // bitwise-identical to ComputeEnsembleDensity(BufferSnapshot(), ensemble).
+  // The artifacts hand back the per-member discretizations the run computed
+  // anyway, so the word models below need no second encode pass.
+  core::EnsembleArtifacts artifacts;
+  auto result =
+      core::ComputeEnsembleDensity(snapshot, options_.ensemble, &artifacts);
+  if (!result.ok()) {
+    last_refit_status_ = result.status();
+    return last_refit_status_;
+  }
+  last_ensemble_ = std::move(*result);
+  scores_.Assign(last_ensemble_.density);
+
+  // Rebuild the per-member word-frequency models that the incremental path
+  // scores against. Only kept members contribute to the ensemble curve, so
+  // only they are modelled; counts are in sliding-window positions (each
+  // numerosity-reduced token covers a run of identically-encoded positions).
+  models_.clear();
+  for (size_t m = 0; m < last_ensemble_.members.size(); ++m) {
+    const auto& member = last_ensemble_.members[m];
+    if (!member.kept) continue;
+    MemberModel model;
+    model.paa_size = member.paa_size;
+    model.alphabet_size = member.alphabet_size;
+    model.breakpoints = sax::GaussianBreakpoints(model.alphabet_size);
+    const auto& series = artifacts.discretized[m];
+    const auto& seq = series.seq;
+    const size_t num_positions = series.num_positions();
+    for (size_t j = 0; j < seq.size(); ++j) {
+      const size_t next =
+          j + 1 < seq.size() ? seq.offsets[j + 1] : num_positions;
+      const double run = static_cast<double>(next - seq.offsets[j]);
+      double& count = model.position_counts[series.table.Word(seq.tokens[j])];
+      count += run;
+      model.max_count = std::max(model.max_count, count);
+    }
+    models_.push_back(std::move(model));
+  }
+
+  since_refit_ = 0;
+  ++refits_;
+  last_refit_status_ = Status::OK();
+  return last_refit_status_;
+}
+
+double StreamDetector::ProvisionalScore() {
+  const size_t n = window_length();
+  scratch_window_.resize(n);
+  window_.CopyWindow(scratch_window_);
+
+  // Z-normalize the window once — normalization depends only on the window,
+  // not on (w, a) — using the ingest layer's rolling mean/std instead of an
+  // O(n) recompute. Same flat-window convention as ts::ZNormalize: a window
+  // with std-dev under the threshold becomes all zeros. The rolling sums
+  // can differ from a fresh computation in the last bits, which at worst
+  // flips a coefficient sitting exactly on a breakpoint — acceptable for a
+  // provisional score and reconciled at the next refit.
+  normalized_window_.resize(n);
+  const double sigma = window_.WindowStdDev();
+  if (sigma < options_.ensemble.norm_threshold) {
+    std::fill(normalized_window_.begin(), normalized_window_.end(), 0.0);
+  } else {
+    const double mu = window_.WindowMean();
+    for (size_t i = 0; i < n; ++i) {
+      normalized_window_[i] = (scratch_window_[i] - mu) / sigma;
+    }
+  }
+
+  member_scores_.clear();
+  member_scores_.reserve(models_.size());
+  for (const MemberModel& model : models_) {
+    // Encode only the one window the new point completed: PAA over the
+    // shared normalized window, then the member's cached breakpoints.
+    paa_coeffs_.resize(static_cast<size_t>(model.paa_size));
+    sax::Paa(normalized_window_, model.paa_size, paa_coeffs_);
+    word_.assign(static_cast<size_t>(model.paa_size), 'a');
+    for (size_t i = 0; i < paa_coeffs_.size(); ++i) {
+      word_[i] = sax::SymbolToChar(
+          sax::SymbolForValue(paa_coeffs_[i], model.breakpoints));
+    }
+    double s = 0.0;
+    if (model.max_count > 0.0) {
+      const auto it = model.position_counts.find(word_);
+      if (it != model.position_counts.end()) s = it->second / model.max_count;
+    }
+    member_scores_.push_back(s);
+  }
+  if (member_scores_.empty()) return 0.0;
+  if (options_.ensemble.combine != core::CombineRule::kMedian) {
+    return ts::Mean(member_scores_);
+  }
+  // In-place median over the per-point scratch (ts::Median would copy its
+  // input, putting a heap allocation on every Append).
+  const size_t mid = member_scores_.size() / 2;
+  std::nth_element(member_scores_.begin(), member_scores_.begin() + mid,
+                   member_scores_.end());
+  double median = member_scores_[mid];
+  if (member_scores_.size() % 2 == 0) {
+    const double below = *std::max_element(member_scores_.begin(),
+                                           member_scores_.begin() + mid);
+    median = (below + median) / 2.0;
+  }
+  return median;
+}
+
+}  // namespace egi::stream

@@ -1,0 +1,144 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/ensemble.h"
+#include "stream/stream_window.h"
+#include "util/status.h"
+
+namespace egi::stream {
+
+/// One scored stream point, as returned by StreamDetector::Append and
+/// delivered to StreamEngine callbacks.
+struct ScoredPoint {
+  uint64_t index = 0;   ///< 0-based position in the stream since creation
+  double value = 0.0;   ///< the ingested value
+  double score = 0.0;   ///< ensemble rule density in [0, 1]; LOW = anomalous
+  bool scored = false;  ///< false until the first refit has fitted a model,
+                        ///< and for rejected (non-finite) values
+  bool provisional = false;  ///< true when produced by the incremental path
+                             ///< (superseded by the next refit)
+  bool refit = false;        ///< this append completed a full batch refit
+};
+
+/// Configuration of the online detector. `ensemble.window_length` is the
+/// sliding-window length n; the other EnsembleParams fields are the
+/// Algorithm 1 knobs used at every refit (fixed seed, so every refit draws
+/// the identical (w, a) sample that batch ComputeEnsembleDensity would).
+struct StreamDetectorOptions {
+  core::EnsembleParams ensemble;
+
+  /// Points of history kept (and re-scored per refit). The buffered window
+  /// is the "series" the batch algorithm sees. Must be >= window_length.
+  size_t buffer_capacity = 4096;
+
+  /// A full batch refit runs once per this many appends (amortization knob:
+  /// larger = faster ingest, staler provisional model). Must be >= 1.
+  size_t refit_interval = 512;
+};
+
+/// Online ensemble grammar-induction detector (the streaming counterpart of
+/// batch `core::ComputeEnsembleDensity`). Operation interleaves two paths:
+///
+/// - **Incremental path** (every Append): the new point completes exactly
+///   one sliding window per ensemble member — the window ending at the
+///   point. That window is z-normalized once (using the ingest layer's
+///   rolling mean/std, not an O(n) recompute), then only its SAX word is
+///   encoded per *kept* member and scored against the word-frequency model
+///   fitted at the last refit (rare/unseen word -> low density ->
+///   anomalous; the HOTSAX rarity principle). Cost: O(kept_members *
+///   window_length) per point, independent of buffer size, with no per-
+///   point allocation. These scores are marked `provisional`.
+///
+/// - **Amortized refit** (every `refit_interval` appends): the batch
+///   Algorithm 1 runs on the buffered window, the whole score curve is
+///   replaced by its density (bitwise-identical to calling
+///   ComputeEnsembleDensity on BufferSnapshot() — the replay-equivalence
+///   guarantee, enforced by tests/stream_detector_test.cc), and the
+///   per-member word-frequency models are rebuilt.
+///
+/// Detectors are single-stream and not thread-safe; shard many streams with
+/// `StreamEngine`.
+class StreamDetector {
+ public:
+  explicit StreamDetector(StreamDetectorOptions options);
+
+  /// Ingests one point and returns its score. Non-finite values are
+  /// rejected: not buffered, returned with scored == false. O(1) amortized
+  /// ring/stats work plus the incremental encode; a refit every
+  /// refit_interval points.
+  ScoredPoint Append(double value);
+
+  /// Batch ingest: appends every value in order, returning one ScoredPoint
+  /// per value. No backpressure — the ring evicts the oldest history.
+  std::vector<ScoredPoint> Ingest(std::span<const double> values);
+
+  /// Runs a batch refit now (also called internally every refit_interval
+  /// appends). Fails (and leaves the previous model in place) when fewer
+  /// than window_length points are buffered or the ensemble parameters are
+  /// invalid for the buffered length.
+  Status ForceRefit();
+
+  const StreamDetectorOptions& options() const { return options_; }
+  size_t window_length() const { return options_.ensemble.window_length; }
+  uint64_t total_appended() const { return appended_; }
+  size_t buffered() const { return window_.size(); }
+  uint64_t refit_count() const { return refits_; }
+  uint64_t appends_since_refit() const { return since_refit_; }
+  bool fitted() const { return refits_ > 0; }
+
+  /// Status of the most recent refit attempt (OK before any attempt).
+  const Status& last_refit_status() const { return last_refit_status_; }
+
+  /// Rolling ingest-layer statistics of the trailing sliding window.
+  const StreamWindow& window() const { return window_; }
+
+  /// Linearized copy of the buffered points, oldest first.
+  std::vector<double> BufferSnapshot() const { return window_.Snapshot(); }
+
+  /// Scores aligned 1:1 with BufferSnapshot(). Entries are exact batch
+  /// densities for points scored by the last refit, provisional values for
+  /// points appended after it, and NaN for points never scored (ingested
+  /// before the first refit).
+  std::vector<double> ScoresSnapshot() const { return scores_.Snapshot(); }
+
+  /// Full ensemble output (members, kept flags) of the last refit.
+  const core::EnsembleResult& last_ensemble() const { return last_ensemble_; }
+
+ private:
+  /// Word-frequency model of one kept ensemble member, fitted at refit
+  /// time: SAX word -> number of sliding-window positions it covered in the
+  /// buffered window (numerosity-reduction run lengths included).
+  struct MemberModel {
+    int paa_size = 0;
+    int alphabet_size = 0;
+    std::vector<double> breakpoints;  // Gaussian, cached for the hot path
+    std::unordered_map<std::string, double> position_counts;
+    double max_count = 0.0;
+  };
+
+  Status RefitNow();
+  double ProvisionalScore();
+
+  StreamDetectorOptions options_;
+  StreamWindow window_;
+  RingBuffer<double> scores_;  // aligned with window_.buffer()
+  uint64_t appended_ = 0;
+  uint64_t since_refit_ = 0;
+  uint64_t refits_ = 0;
+  Status last_refit_status_;
+  core::EnsembleResult last_ensemble_;
+  std::vector<MemberModel> models_;  // kept members only, draw order
+  // Hot-path scratch, reused across Append calls to avoid allocation.
+  std::vector<double> scratch_window_;     // last window copy
+  std::vector<double> normalized_window_;  // z-normalized once per point
+  std::vector<double> paa_coeffs_;         // per-member PAA output
+  std::string word_;                       // per-member SAX word
+  std::vector<double> member_scores_;      // per-member scores for combining
+};
+
+}  // namespace egi::stream

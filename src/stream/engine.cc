@@ -1,0 +1,82 @@
+#include "stream/engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace egi::stream {
+
+StreamEngine::StreamEngine(StreamEngineOptions options)
+    : options_(std::move(options)) {
+  EGI_CHECK(options_.parallelism.threads >= 1)
+      << "parallelism.threads must be >= 1";
+}
+
+StreamId StreamEngine::AddStream() { return AddStream(options_.detector); }
+
+StreamId StreamEngine::AddStream(const StreamDetectorOptions& options) {
+  streams_.push_back(std::make_unique<StreamDetector>(options));
+  callbacks_.emplace_back();
+  return streams_.size() - 1;
+}
+
+void StreamEngine::SetCallback(StreamId id, Callback callback) {
+  EGI_CHECK(id < streams_.size()) << "unknown stream " << id;
+  callbacks_[id] = std::move(callback);
+}
+
+const StreamDetector& StreamEngine::detector(StreamId id) const {
+  EGI_CHECK(id < streams_.size()) << "unknown stream " << id;
+  return *streams_[id];
+}
+
+StreamDetector& StreamEngine::detector(StreamId id) {
+  EGI_CHECK(id < streams_.size()) << "unknown stream " << id;
+  return *streams_[id];
+}
+
+void StreamEngine::IngestOne(StreamId id, std::span<const double> values,
+                             std::vector<ScoredPoint>* out) {
+  StreamDetector& detector = *streams_[id];
+  const Callback& callback = callbacks_[id];
+  for (const double v : values) {
+    const ScoredPoint pt = detector.Append(v);
+    if (callback) callback(id, pt);
+    if (out != nullptr) out->push_back(pt);
+  }
+}
+
+void StreamEngine::Ingest(std::span<const StreamBatch> batches) {
+  // Each stream must be advanced by exactly one worker for the lock-free
+  // sharding to be sound; reject duplicate ids up front.
+  std::vector<StreamId> ids;
+  ids.reserve(batches.size());
+  for (const auto& b : batches) {
+    EGI_CHECK(b.stream < streams_.size()) << "unknown stream " << b.stream;
+    ids.push_back(b.stream);
+  }
+  std::sort(ids.begin(), ids.end());
+  EGI_CHECK(std::adjacent_find(ids.begin(), ids.end()) == ids.end())
+      << "duplicate stream id in one Ingest call";
+
+  // One chunk per batch: streams advance independently, so the result is
+  // identical for every thread count. Refits inside a worker run serially
+  // (nested parallel regions execute inline).
+  exec::ParallelFor(options_.parallelism, 0, batches.size(), /*grain=*/1,
+                    [&](size_t i) {
+                      IngestOne(batches[i].stream, batches[i].values,
+                                /*out=*/nullptr);
+                    });
+}
+
+std::vector<ScoredPoint> StreamEngine::Ingest(StreamId id,
+                                              std::span<const double> values) {
+  EGI_CHECK(id < streams_.size()) << "unknown stream " << id;
+  std::vector<ScoredPoint> out;
+  out.reserve(values.size());
+  IngestOne(id, values, &out);
+  return out;
+}
+
+}  // namespace egi::stream

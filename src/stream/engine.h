@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "exec/parallel.h"
+#include "stream/detector.h"
+
+namespace egi::stream {
+
+/// Handle to one stream registered with a StreamEngine.
+using StreamId = size_t;
+
+/// One ingest unit for StreamEngine::Ingest: a run of consecutive points
+/// for one stream. Stream ids within a single Ingest call must be distinct
+/// (each stream is advanced by exactly one worker).
+struct StreamBatch {
+  StreamId stream = 0;
+  std::span<const double> values;
+};
+
+struct StreamEngineOptions {
+  /// Defaults for AddStream() (overridable per stream).
+  StreamDetectorOptions detector;
+
+  /// Threads used to shard batches across streams. Chunking is per stream,
+  /// so every per-stream output is identical for every thread count.
+  exec::Parallelism parallelism = exec::Parallelism::FromEnv();
+};
+
+/// Multi-tenant serving front-end for StreamDetector: owns many independent
+/// streams and shards a batch of per-stream ingest work across the shared
+/// exec::ThreadPool. Each stream is only ever touched by one worker per
+/// Ingest call, so detectors need no locks and per-stream results are
+/// bitwise-identical for every thread count (the PR-1 determinism contract,
+/// enforced by tests/stream_engine_test.cc).
+///
+/// Ingest is backpressure-free: ring buffers evict the oldest history, so a
+/// slow consumer can never stall the ingest path.
+class StreamEngine {
+ public:
+  /// Per-point delivery hook; invoked on the worker thread that advanced
+  /// the stream, in append order. One callback at a time per stream, but
+  /// callbacks for different streams run concurrently — share state across
+  /// streams only with synchronization.
+  using Callback = std::function<void(StreamId, const ScoredPoint&)>;
+
+  explicit StreamEngine(StreamEngineOptions options);
+
+  /// Registers a stream with the engine-default detector options.
+  StreamId AddStream();
+
+  /// Registers a stream with per-stream detector options.
+  StreamId AddStream(const StreamDetectorOptions& options);
+
+  /// Installs (or clears, with nullptr) the per-point callback of a stream.
+  void SetCallback(StreamId id, Callback callback);
+
+  /// Appends each batch to its stream, sharded across the thread pool.
+  /// Callbacks fire per point; batches for distinct streams run
+  /// concurrently. Stream ids must be distinct within one call.
+  void Ingest(std::span<const StreamBatch> batches);
+
+  /// Single-stream convenience: appends `values` (on the calling thread)
+  /// and returns the per-point scores. Fires the stream's callback too.
+  std::vector<ScoredPoint> Ingest(StreamId id, std::span<const double> values);
+
+  size_t num_streams() const { return streams_.size(); }
+  const StreamDetector& detector(StreamId id) const;
+  StreamDetector& detector(StreamId id);
+
+ private:
+  void IngestOne(StreamId id, std::span<const double> values,
+                 std::vector<ScoredPoint>* out);
+
+  StreamEngineOptions options_;
+  std::vector<std::unique_ptr<StreamDetector>> streams_;
+  std::vector<Callback> callbacks_;
+};
+
+}  // namespace egi::stream

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/check.h"
+
+namespace egi::stream {
+
+/// Fixed-capacity circular buffer with O(1) append: once full, every
+/// PushBack evicts the oldest element. Logical index 0 is always the oldest
+/// buffered element. This is the ingest substrate of the streaming layer —
+/// a `StreamDetector` scores the series formed by the buffered window.
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(size_t capacity) : data_(capacity) {
+    EGI_CHECK(capacity > 0) << "ring buffer capacity must be positive";
+  }
+
+  size_t capacity() const { return data_.size(); }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == data_.size(); }
+
+  /// Appends `value`, evicting the oldest element when full. O(1).
+  void PushBack(T value) {
+    data_[(head_ + size_) % data_.size()] = std::move(value);
+    if (size_ < data_.size()) {
+      ++size_;
+    } else {
+      head_ = (head_ + 1) % data_.size();
+    }
+  }
+
+  /// Logical indexing: [0] is the oldest buffered element, [size()-1] the
+  /// newest.
+  const T& operator[](size_t i) const {
+    EGI_DCHECK(i < size_);
+    return data_[(head_ + i) % data_.size()];
+  }
+  T& operator[](size_t i) {
+    EGI_DCHECK(i < size_);
+    return data_[(head_ + i) % data_.size()];
+  }
+
+  const T& front() const { return (*this)[0]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  /// Copies the `count` newest elements (oldest of them first) into `out`.
+  void CopyLast(size_t count, std::span<T> out) const {
+    EGI_CHECK(count <= size_ && out.size() >= count);
+    const size_t start = size_ - count;
+    for (size_t i = 0; i < count; ++i) out[i] = (*this)[start + i];
+  }
+
+  /// Linearized copy of the buffered contents, oldest first.
+  std::vector<T> Snapshot() const {
+    std::vector<T> out(size_);
+    for (size_t i = 0; i < size_; ++i) out[i] = (*this)[i];
+    return out;
+  }
+
+  /// Overwrites the buffered contents in logical order (used when a refit
+  /// recomputes the score curve for the whole buffered window). `values`
+  /// must match the current size.
+  void Assign(std::span<const T> values) {
+    EGI_CHECK(values.size() == size_) << "Assign size mismatch";
+    for (size_t i = 0; i < size_; ++i) (*this)[i] = values[i];
+  }
+
+  void Clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::vector<T> data_;
+  size_t head_ = 0;  // physical index of logical element 0
+  size_t size_ = 0;
+};
+
+}  // namespace egi::stream

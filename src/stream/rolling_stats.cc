@@ -1,0 +1,44 @@
+#include "stream/rolling_stats.h"
+
+#include <cmath>
+
+#include "ts/stats.h"
+#include "util/check.h"
+
+namespace egi::stream {
+
+void RollingStats::Add(double value) {
+  ts::CompensatedAdd(sum_, sum_comp_, value);
+  ts::CompensatedAdd(sumsq_, sumsq_comp_, value * value);
+  ++count_;
+}
+
+void RollingStats::Remove(double value) {
+  EGI_CHECK(count_ > 0) << "Remove from empty RollingStats";
+  ts::CompensatedAdd(sum_, sum_comp_, -value);
+  ts::CompensatedAdd(sumsq_, sumsq_comp_, -(value * value));
+  --count_;
+  if (count_ == 0) Reset();  // flush residual compensation drift
+}
+
+double RollingStats::Mean() const {
+  if (count_ == 0) return 0.0;
+  return Sum() / static_cast<double>(count_);
+}
+
+double RollingStats::SampleStdDev() const {
+  if (count_ < 2) return 0.0;
+  const double n = static_cast<double>(count_);
+  const double ex = Sum();
+  const double exx = SumSq();
+  const double var = std::max(0.0, (exx - ex * ex / n) / (n - 1.0));
+  return std::sqrt(var);
+}
+
+void RollingStats::Reset() {
+  count_ = 0;
+  sum_ = sum_comp_ = 0.0;
+  sumsq_ = sumsq_comp_ = 0.0;
+}
+
+}  // namespace egi::stream

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+
+namespace egi::stream {
+
+/// Rolling sum/mean/std-dev over a sliding set of values — the incremental
+/// counterpart of `ts::PrefixStats` for streams where the series is not
+/// known up front. Add() admits a value, Remove() retires one that left the
+/// window; both are O(1) and Neumaier-compensated, so the running sums stay
+/// accurate over arbitrarily long ingest runs (a plain accumulator drifts
+/// after ~1e8 float ops; the compensated one does not).
+///
+/// Unlike PrefixStats this cannot center values around the global mean
+/// (unknown in a stream), so variance of data riding on an extreme offset
+/// (~1e9) loses more precision than the batch path. The streaming detector
+/// therefore treats rolling statistics as the fast approximate path and
+/// restores batch-exact values at every refit.
+class RollingStats {
+ public:
+  /// Admits `value` into the window. O(1).
+  void Add(double value);
+
+  /// Retires `value` (which must currently be in the window) from it. O(1).
+  void Remove(double value);
+
+  size_t count() const { return count_; }
+  double Sum() const { return sum_ + sum_comp_; }
+  double SumSq() const { return sumsq_ + sumsq_comp_; }
+
+  /// Mean of the windowed values; 0 when empty.
+  double Mean() const;
+
+  /// Sample standard deviation (n-1 denominator, matching
+  /// ts::PrefixStats::RangeStdDev); 0 for fewer than two values. Tiny
+  /// negative variances from cancellation are clamped to zero.
+  double SampleStdDev() const;
+
+  void Reset();
+
+ private:
+  size_t count_ = 0;
+  double sum_ = 0.0, sum_comp_ = 0.0;
+  double sumsq_ = 0.0, sumsq_comp_ = 0.0;
+};
+
+}  // namespace egi::stream

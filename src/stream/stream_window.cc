@@ -1,0 +1,31 @@
+#include "stream/stream_window.h"
+
+#include "util/check.h"
+
+namespace egi::stream {
+
+StreamWindow::StreamWindow(size_t capacity, size_t window_length)
+    : window_length_(window_length), buffer_(capacity) {
+  EGI_CHECK(window_length >= 2) << "window_length must be >= 2";
+  EGI_CHECK(capacity >= window_length)
+      << "buffer capacity " << capacity << " smaller than window length "
+      << window_length;
+}
+
+void StreamWindow::Append(double value) {
+  // Retire the value leaving the trailing window before the push shifts
+  // logical indices. It is still buffered here because capacity >= n.
+  if (buffer_.size() >= window_length_) {
+    window_stats_.Remove(buffer_[buffer_.size() - window_length_]);
+  }
+  buffer_.PushBack(value);
+  window_stats_.Add(value);
+  ++total_appended_;
+}
+
+void StreamWindow::CopyWindow(std::span<double> out) const {
+  EGI_CHECK(WindowReady()) << "no full window buffered yet";
+  buffer_.CopyLast(window_length_, out);
+}
+
+}  // namespace egi::stream

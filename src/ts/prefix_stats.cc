@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "ts/stats.h"
 #include "util/check.h"
 
 namespace egi::ts {
@@ -17,16 +18,7 @@ PrefixStats::PrefixStats(std::span<const double> series)
   // we accumulate around the global mean and add the shift back only where
   // the absolute level matters.
   double center = 0.0, center_comp = 0.0;
-  auto accumulate = [](double& acc, double& comp, double v) {
-    double t = acc + v;
-    if (std::abs(acc) >= std::abs(v)) {
-      comp += (acc - t) + v;
-    } else {
-      comp += (v - t) + acc;
-    }
-    acc = t;
-  };
-  for (double v : series_) accumulate(center, center_comp, v);
+  for (double v : series_) CompensatedAdd(center, center_comp, v);
   center_ = series_.empty()
                 ? 0.0
                 : (center + center_comp) / static_cast<double>(series_.size());
@@ -36,8 +28,8 @@ PrefixStats::PrefixStats(std::span<const double> series)
   double s = 0.0, s_comp = 0.0;
   double q = 0.0, q_comp = 0.0;
   for (size_t i = 0; i < series_.size(); ++i) {
-    accumulate(s, s_comp, series_[i]);
-    accumulate(q, q_comp, series_[i] * series_[i]);
+    CompensatedAdd(s, s_comp, series_[i]);
+    CompensatedAdd(q, q_comp, series_[i] * series_[i]);
     sum_[i + 1] = s + s_comp;
     sumsq_[i + 1] = q + q_comp;
   }

@@ -12,15 +12,7 @@ namespace {
 // Neumaier variant of Kahan summation: robust for long power-usage series.
 double CompensatedSum(std::span<const double> values) {
   double sum = 0.0, comp = 0.0;
-  for (double v : values) {
-    double t = sum + v;
-    if (std::abs(sum) >= std::abs(v)) {
-      comp += (sum - t) + v;
-    } else {
-      comp += (v - t) + sum;
-    }
-    sum = t;
-  }
+  for (double v : values) CompensatedAdd(sum, comp, v);
   return sum + comp;
 }
 

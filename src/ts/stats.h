@@ -1,9 +1,25 @@
 #pragma once
 
+#include <cmath>
 #include <span>
 #include <vector>
 
 namespace egi::ts {
+
+/// One step of Neumaier-compensated (Kahan-variant) accumulation: adds `v`
+/// into `acc`, keeping the low-order bits that the add would drop in
+/// `comp`; the exact running sum is `acc + comp`. Shared by the batch
+/// accumulators (Mean, PrefixStats) and the streaming RollingStats so the
+/// numerically sensitive branch lives in exactly one place.
+inline void CompensatedAdd(double& acc, double& comp, double v) {
+  const double t = acc + v;
+  if (std::abs(acc) >= std::abs(v)) {
+    comp += (acc - t) + v;
+  } else {
+    comp += (v - t) + acc;
+  }
+  acc = t;
+}
 
 /// Default standard-deviation threshold below which a subsequence is treated
 /// as flat during z-normalization (GrammarViz convention): flat windows map

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <limits>
 #include <thread>
@@ -12,8 +14,12 @@ int64_t GetEnvInt(const char* name, int64_t fallback) {
   const char* raw = std::getenv(name);
   if (raw == nullptr || *raw == '\0') return fallback;
   char* end = nullptr;
+  errno = 0;
   long long v = std::strtoll(raw, &end, 10);
   if (end == raw || (end != nullptr && *end != '\0')) return fallback;
+  // Out-of-range values saturate to LLONG_MIN/MAX with errno == ERANGE;
+  // treat them as unparsable rather than silently using the clamp.
+  if (errno == ERANGE) return fallback;
   return static_cast<int64_t>(v);
 }
 
@@ -32,8 +38,13 @@ double GetEnvDouble(const char* name, double fallback) {
   const char* raw = std::getenv(name);
   if (raw == nullptr || *raw == '\0') return fallback;
   char* end = nullptr;
+  errno = 0;
   double v = std::strtod(raw, &end);
   if (end == raw || (end != nullptr && *end != '\0')) return fallback;
+  // Overflow saturates to +/-HUGE_VAL with errno == ERANGE; fall back
+  // instead of using the saturation. Underflow also sets ERANGE but yields
+  // a representable subnormal (or zero), which is kept as parsed.
+  if (errno == ERANGE && (v == HUGE_VAL || v == -HUGE_VAL)) return fallback;
   return v;
 }
 

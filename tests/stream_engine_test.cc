@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <vector>
+
+#include "datasets/random_walk.h"
+#include "stream/engine.h"
+#include "util/rng.h"
+
+namespace egi::stream {
+namespace {
+
+StreamDetectorOptions SmallOptions() {
+  StreamDetectorOptions opt;
+  opt.ensemble.window_length = 32;
+  opt.ensemble.wmax = 5;
+  opt.ensemble.amax = 5;
+  opt.ensemble.ensemble_size = 8;
+  opt.ensemble.seed = 42;
+  opt.buffer_capacity = 192;
+  opt.refit_interval = 48;
+  return opt;
+}
+
+std::vector<std::vector<double>> MakeStreams(size_t count, size_t length) {
+  std::vector<std::vector<double>> out;
+  for (size_t i = 0; i < count; ++i) {
+    Rng rng(100 + i);
+    out.push_back(datasets::MakeRandomWalk(length, rng));
+  }
+  return out;
+}
+
+// Runs `num_streams` independent series through an engine at the given
+// thread count, chunked into per-stream batches, and returns every stream's
+// callback-observed score sequence.
+std::vector<std::vector<ScoredPoint>> RunEngine(
+    const std::vector<std::vector<double>>& data, int threads,
+    size_t chunk = 50) {
+  StreamEngineOptions opt;
+  opt.detector = SmallOptions();
+  opt.parallelism = exec::Parallelism::Fixed(threads);
+  StreamEngine engine(opt);
+
+  std::vector<std::vector<ScoredPoint>> observed(data.size());
+  for (size_t s = 0; s < data.size(); ++s) {
+    const StreamId id = engine.AddStream();
+    EXPECT_EQ(id, s);
+    engine.SetCallback(id, [&observed](StreamId sid, const ScoredPoint& pt) {
+      observed[sid].push_back(pt);  // one worker per stream: no lock needed
+    });
+  }
+
+  const size_t length = data[0].size();
+  for (size_t off = 0; off < length; off += chunk) {
+    const size_t len = std::min(chunk, length - off);
+    std::vector<StreamBatch> batches;
+    for (size_t s = 0; s < data.size(); ++s) {
+      batches.push_back(
+          StreamBatch{s, std::span<const double>(data[s]).subspan(off, len)});
+    }
+    engine.Ingest(batches);
+  }
+  return observed;
+}
+
+void ExpectSameScores(const std::vector<std::vector<ScoredPoint>>& a,
+                      const std::vector<std::vector<ScoredPoint>>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t s = 0; s < a.size(); ++s) {
+    ASSERT_EQ(a[s].size(), b[s].size());
+    for (size_t i = 0; i < a[s].size(); ++i) {
+      ASSERT_EQ(a[s][i].index, b[s][i].index);
+      ASSERT_EQ(a[s][i].score, b[s][i].score) << "stream " << s << " pt " << i;
+      ASSERT_EQ(a[s][i].scored, b[s][i].scored);
+      ASSERT_EQ(a[s][i].provisional, b[s][i].provisional);
+      ASSERT_EQ(a[s][i].refit, b[s][i].refit);
+    }
+  }
+}
+
+// Sharding across the pool must not change any stream's output: results at
+// 2 and 4 threads are bitwise-identical to the single-threaded run, which
+// in turn matches a standalone StreamDetector fed the same points.
+TEST(StreamEngineTest, PerStreamResultsIdenticalForEveryThreadCount) {
+  const auto data = MakeStreams(5, 400);
+  const auto serial = RunEngine(data, 1);
+
+  for (const int threads : {2, 4}) {
+    ExpectSameScores(serial, RunEngine(data, threads));
+  }
+
+  for (size_t s = 0; s < data.size(); ++s) {
+    StreamDetector standalone(SmallOptions());
+    const auto direct = standalone.Ingest(data[s]);
+    ASSERT_EQ(direct.size(), serial[s].size());
+    for (size_t i = 0; i < direct.size(); ++i) {
+      ASSERT_EQ(direct[i].score, serial[s][i].score);
+      ASSERT_EQ(direct[i].refit, serial[s][i].refit);
+    }
+  }
+}
+
+TEST(StreamEngineTest, CallbackSeesEveryPointInOrder) {
+  const auto data = MakeStreams(3, 120);
+  const auto observed = RunEngine(data, 4, /*chunk=*/7);
+  for (size_t s = 0; s < data.size(); ++s) {
+    ASSERT_EQ(observed[s].size(), data[s].size());
+    for (size_t i = 0; i < observed[s].size(); ++i) {
+      EXPECT_EQ(observed[s][i].index, i);
+      EXPECT_EQ(observed[s][i].value, data[s][i]);
+    }
+  }
+}
+
+TEST(StreamEngineTest, SingleStreamIngestReturnsScores) {
+  StreamEngineOptions opt;
+  opt.detector = SmallOptions();
+  opt.parallelism = exec::Parallelism::Serial();
+  StreamEngine engine(opt);
+  const StreamId id = engine.AddStream();
+
+  Rng rng(9);
+  const auto series = datasets::MakeRandomWalk(100, rng);
+  const auto scored = engine.Ingest(id, series);
+  ASSERT_EQ(scored.size(), series.size());
+  EXPECT_EQ(engine.detector(id).total_appended(), series.size());
+  EXPECT_TRUE(engine.detector(id).fitted());
+}
+
+TEST(StreamEngineTest, PerStreamOptionsOverrideDefaults) {
+  StreamEngineOptions opt;
+  opt.detector = SmallOptions();
+  StreamEngine engine(opt);
+  auto custom = SmallOptions();
+  custom.refit_interval = 10;
+  const StreamId a = engine.AddStream();
+  const StreamId b = engine.AddStream(custom);
+  EXPECT_EQ(engine.num_streams(), 2u);
+  EXPECT_EQ(engine.detector(a).options().refit_interval,
+            opt.detector.refit_interval);
+  EXPECT_EQ(engine.detector(b).options().refit_interval, 10u);
+}
+
+}  // namespace
+}  // namespace egi::stream

@@ -128,6 +128,50 @@ TEST(PrefixStatsTest, FractionalRangeSumPartialCells) {
   EXPECT_NEAR(ps.FractionalRangeSum(1.0, 1.0), 0.0, 1e-12);
 }
 
+TEST(PrefixStatsTest, FractionalRangeSumEmptyIntervalEverywhere) {
+  std::vector<double> v{2.0, -3.0, 5.0, 7.0};
+  PrefixStats ps(v);
+  // from == to is the empty step-function integral wherever it lands: on a
+  // sample edge, inside a sample, at the series start, and at the very end.
+  EXPECT_DOUBLE_EQ(ps.FractionalRangeSum(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(ps.FractionalRangeSum(2.0, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(ps.FractionalRangeSum(2.6, 2.6), 0.0);
+  EXPECT_DOUBLE_EQ(ps.FractionalRangeSum(4.0, 4.0), 0.0);
+}
+
+TEST(PrefixStatsTest, FractionalRangeSumFullSeriesInterval) {
+  std::vector<double> v{1.5, -2.0, 4.0, 0.5, 3.0};
+  PrefixStats ps(v);
+  // [0, size) covers every sample exactly once.
+  EXPECT_NEAR(ps.FractionalRangeSum(0.0, 5.0), 7.0, 1e-12);
+}
+
+TEST(PrefixStatsTest, FractionalRangeSumBoundariesOnSampleEdges) {
+  std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+  PrefixStats ps(v);
+  // Exact integer boundaries must behave like whole-sample RangeSum.
+  for (size_t from = 0; from < v.size(); ++from) {
+    for (size_t to = from; to <= v.size(); ++to) {
+      EXPECT_NEAR(
+          ps.FractionalRangeSum(static_cast<double>(from),
+                                static_cast<double>(to)),
+          ps.RangeSum(from, to - from), 1e-12)
+          << "[" << from << ", " << to << ")";
+    }
+  }
+}
+
+TEST(PrefixStatsTest, FractionalRangeSumOneEdgeAlignedOneNot) {
+  std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  PrefixStats ps(v);
+  // Aligned start, fractional end: samples 1 + half of sample 2.
+  EXPECT_NEAR(ps.FractionalRangeSum(1.0, 2.5), 2.0 + 1.5, 1e-12);
+  // Fractional start, aligned end: half of sample 1 + sample 2.
+  EXPECT_NEAR(ps.FractionalRangeSum(1.5, 3.0), 1.0 + 3.0, 1e-12);
+  // One full sample picked out exactly.
+  EXPECT_NEAR(ps.FractionalRangeSum(2.0, 3.0), 3.0, 1e-12);
+}
+
 // Property sweep: prefix-stat range queries equal direct computation for
 // random series and many (start, length) pairs.
 class PrefixStatsPropertyTest : public ::testing::TestWithParam<uint64_t> {};

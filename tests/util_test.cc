@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <limits>
 #include <fstream>
 #include <set>
 #include <sstream>
@@ -266,6 +267,26 @@ TEST(EnvTest, IntGarbageFallsBack) {
   ::unsetenv("EGI_TEST_INT");
 }
 
+TEST(EnvTest, IntOutOfRangeFallsBack) {
+  // strtoll saturates these to LLONG_MAX/MIN with errno == ERANGE; the
+  // clamp must not leak through as a parsed value.
+  ::setenv("EGI_TEST_INT", "99999999999999999999999999", 1);
+  EXPECT_EQ(GetEnvInt("EGI_TEST_INT", 7), 7);
+  ::setenv("EGI_TEST_INT", "-99999999999999999999999999", 1);
+  EXPECT_EQ(GetEnvInt("EGI_TEST_INT", 7), 7);
+  ::unsetenv("EGI_TEST_INT");
+}
+
+TEST(EnvTest, IntLimitsStillParse) {
+  ::setenv("EGI_TEST_INT", "9223372036854775807", 1);
+  EXPECT_EQ(GetEnvInt("EGI_TEST_INT", 7),
+            std::numeric_limits<int64_t>::max());
+  ::setenv("EGI_TEST_INT", "-9223372036854775808", 1);
+  EXPECT_EQ(GetEnvInt("EGI_TEST_INT", 7),
+            std::numeric_limits<int64_t>::min());
+  ::unsetenv("EGI_TEST_INT");
+}
+
 TEST(EnvTest, BoolVariants) {
   ::setenv("EGI_TEST_BOOL", "TRUE", 1);
   EXPECT_TRUE(GetEnvBool("EGI_TEST_BOOL", false));
@@ -279,6 +300,32 @@ TEST(EnvTest, BoolVariants) {
 TEST(EnvTest, DoubleParsed) {
   ::setenv("EGI_TEST_DBL", "0.25", 1);
   EXPECT_DOUBLE_EQ(GetEnvDouble("EGI_TEST_DBL", 1.0), 0.25);
+  ::unsetenv("EGI_TEST_DBL");
+}
+
+TEST(EnvTest, DoubleGarbageFallsBack) {
+  ::setenv("EGI_TEST_DBL", "0.25pie", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("EGI_TEST_DBL", 1.0), 1.0);
+  ::unsetenv("EGI_TEST_DBL");
+}
+
+TEST(EnvTest, DoubleOverflowFallsBack) {
+  // strtod saturates to +/-HUGE_VAL with errno == ERANGE; the saturated
+  // infinity must not leak through as a parsed value.
+  ::setenv("EGI_TEST_DBL", "1e999", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("EGI_TEST_DBL", 1.0), 1.0);
+  ::setenv("EGI_TEST_DBL", "-1e999", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("EGI_TEST_DBL", 1.0), 1.0);
+  ::unsetenv("EGI_TEST_DBL");
+}
+
+TEST(EnvTest, DoubleExtremeButRepresentableStillParses) {
+  ::setenv("EGI_TEST_DBL", "1e308", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("EGI_TEST_DBL", 1.0), 1e308);
+  // Subnormals set ERANGE on glibc but are representable, not saturated;
+  // they must parse, not fall back.
+  ::setenv("EGI_TEST_DBL", "1e-320", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("EGI_TEST_DBL", 1.0), 1e-320);
   ::unsetenv("EGI_TEST_DBL");
 }
 
