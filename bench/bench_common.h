@@ -1,11 +1,13 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
 
 #include "eval/experiment.h"
+#include "util/stopwatch.h"
 #include "util/table.h"
 
 namespace egi::bench {
@@ -50,6 +52,28 @@ BaselinePick BestGiBaseline(datasets::UcrDataset dataset,
 
 /// Runs the main 5-method experiment of Section 7.1 (Tables 4/5/6, Fig 10).
 eval::ExperimentResult RunMainExperiment(const BenchSettings& settings);
+
+// --------------------------------------------------------- timing helpers
+
+/// Keeps `value` (and everything reachable from it) observable so the
+/// optimizer cannot delete the benchmarked computation.
+template <typename T>
+inline void KeepAlive(const T& value) {
+  asm volatile("" : : "r"(&value) : "memory");
+}
+
+/// Best-of-`reps` wall-clock seconds for one invocation of `fn` (the
+/// standard micro-bench reducer: min discards scheduler noise).
+template <typename F>
+double BestSeconds(int reps, F&& fn) {
+  double best = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch sw;
+    fn();
+    best = std::min(best, sw.ElapsedSeconds());
+  }
+  return best;
+}
 
 // ------------------------------------------------- machine-readable output
 

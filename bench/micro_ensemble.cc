@@ -1,62 +1,91 @@
 // Micro-benchmarks for the end-to-end ensemble pipeline (Algorithm 1):
-// throughput vs series length (linearity) and vs ensemble size N.
+// throughput vs series length (linearity), vs ensemble size N, and vs
+// thread count — the N grammar inductions run on per-worker Reset()
+// builders through the shared exec pool.
+//
+// EGI_BENCH_QUICK=1 shrinks the sweep (CI smoke mode); --json (or
+// EGI_BENCH_JSON=1) emits one JSON object per line for BENCH_*.json
+// tracking instead of the human-readable table.
 
-#include <benchmark/benchmark.h>
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
 
+#include "bench_common.h"
 #include "core/ensemble.h"
 #include "datasets/physio.h"
+#include "util/check.h"
+#include "util/env.h"
 #include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
 
-namespace {
+int main(int argc, char** argv) {
+  using namespace egi;
+  const bool json = bench::JsonOutputEnabled(argc, argv);
+  const bool quick = GetEnvBool("EGI_BENCH_QUICK", false);
+  const int reps = quick ? 2 : 3;
+  const size_t window = 250;
+  const std::vector<size_t> lengths =
+      quick ? std::vector<size_t>{4000}
+            : std::vector<size_t>{4000, 8000, 16000};
+  const std::vector<int> ensemble_sizes =
+      quick ? std::vector<int>{10, 50} : std::vector<int>{5, 10, 25, 50};
+  const exec::Parallelism env_par = exec::Parallelism::FromEnv();
+  std::vector<int> thread_counts{1};
+  if (env_par.threads > 1) thread_counts.push_back(env_par.threads);
 
-using namespace egi;
-
-void BM_EnsembleDensityByLength(benchmark::State& state) {
-  Rng rng(9);
-  const auto series =
-      datasets::MakeLongEcg(static_cast<size_t>(state.range(0)), rng);
-  core::EnsembleParams p;
-  p.window_length = 250;
-  p.ensemble_size = 50;
-  for (auto _ : state) {
-    auto r = core::ComputeEnsembleDensity(series, p);
-    benchmark::DoNotOptimize(r);
+  if (!json) {
+    std::printf("== Ensemble rule density (Algorithm 1) throughput ==\n");
+    std::printf("window %zu, best of %d reps per cell%s\n\n", window, reps,
+                quick ? " [QUICK]" : "");
   }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<int64_t>(series.size()));
-}
-BENCHMARK(BM_EnsembleDensityByLength)
-    ->Arg(4000)
-    ->Arg(8000)
-    ->Arg(16000)
-    ->Arg(32000);
 
-void BM_EnsembleDensityByN(benchmark::State& state) {
-  Rng rng(9);
-  const auto series = datasets::MakeLongEcg(8000, rng);
-  core::EnsembleParams p;
-  p.window_length = 250;
-  p.ensemble_size = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    auto r = core::ComputeEnsembleDensity(series, p);
-    benchmark::DoNotOptimize(r);
+  TextTable table("ensemble density throughput");
+  table.SetHeader(
+      {"Series", "N", "Threads", "Time (s)", "Points/sec"});
+
+  for (const size_t len : lengths) {
+    Rng rng(9);
+    const auto series = datasets::MakeLongEcg(len, rng);
+    for (const int n : ensemble_sizes) {
+      for (const int threads : thread_counts) {
+        core::EnsembleParams p;
+        p.window_length = window;
+        p.ensemble_size = n;
+        p.parallelism = exec::Parallelism::Fixed(threads);
+        const double secs = bench::BestSeconds(reps, [&] {
+          auto r = core::ComputeEnsembleDensity(series, p);
+          EGI_CHECK(r.ok()) << r.status().ToString();
+          bench::KeepAlive(r);
+        });
+        const double pps = static_cast<double>(len) / std::max(secs, 1e-12);
+        if (json) {
+          bench::JsonRecord("micro_ensemble")
+              .Add("series_length", static_cast<int64_t>(len))
+              .Add("ensemble_size", n)
+              .Add("threads", threads)
+              .Add("window", static_cast<int64_t>(window))
+              .Add("seconds", secs)
+              .Add("points_per_sec", pps)
+              .Add("quick", quick)
+              .Emit(std::cout);
+        } else {
+          table.AddRow({std::to_string(len), std::to_string(n),
+                        std::to_string(threads), FormatDouble(secs, 4),
+                        FormatDouble(pps, 0)});
+        }
+      }
+    }
   }
-}
-BENCHMARK(BM_EnsembleDensityByN)->Arg(5)->Arg(10)->Arg(25)->Arg(50);
 
-void BM_MemberCurvesOnly(benchmark::State& state) {
-  Rng rng(9);
-  const auto series = datasets::MakeLongEcg(8000, rng);
-  core::EnsembleParams p;
-  p.window_length = 250;
-  p.ensemble_size = 50;
-  for (auto _ : state) {
-    auto r = core::ComputeMemberDensityCurves(series, p);
-    benchmark::DoNotOptimize(r);
+  if (!json) {
+    table.Print(std::cout);
+    std::printf(
+        "\nmember curves are computed on per-worker reused Sequitur builders;"
+        "\nresults are bitwise-identical at every thread count.\n");
   }
+  return 0;
 }
-BENCHMARK(BM_MemberCurvesOnly);
-
-}  // namespace
-
-BENCHMARK_MAIN();

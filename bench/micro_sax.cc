@@ -1,17 +1,29 @@
 // Micro-benchmarks for the discretization stack, backing the paper's
 // Section 6.2.3 claim: computing multi-resolution SAX words through the
 // shared prefix-stats + merged-breakpoint summary is far cheaper than
-// running independent single-resolution discretizations per (w, a).
+// running independent single-resolution discretizations per (w, a). The
+// encoders emit packed word codes (sax/word_code.h), so the position loop
+// does no string work at all.
+//
+// EGI_BENCH_QUICK=1 shrinks the sweep (CI smoke mode); --json (or
+// EGI_BENCH_JSON=1) emits one JSON object per line for BENCH_*.json
+// tracking instead of the human-readable table.
 
-#include <benchmark/benchmark.h>
-
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "core/ensemble.h"
 #include "datasets/random_walk.h"
 #include "sax/multires_encoder.h"
 #include "sax/sax_encoder.h"
+#include "util/env.h"
 #include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
 
 namespace {
 
@@ -22,72 +34,92 @@ std::vector<double> BenchSeries(size_t len) {
   return datasets::MakeRandomWalk(len, rng);
 }
 
-// Baseline: one independent DiscretizeSeries per (w, a) — recomputes
-// prefix statistics and breakpoint lookups every time (the "straightforward
-// manner" of Section 6.2.3).
-void BM_SaxNaiveMultiParam(benchmark::State& state) {
-  const auto series = BenchSeries(static_cast<size_t>(state.range(0)));
-  const auto pairs = core::DrawParameterSample(10, 10, 50, 3);
-  for (auto _ : state) {
-    for (const auto& p : pairs) {
-      sax::SaxParams sp;
-      sp.window_length = 100;
-      sp.paa_size = p.paa_size;
-      sp.alphabet_size = p.alphabet_size;
-      auto d = sax::DiscretizeSeries(series, sp);
-      benchmark::DoNotOptimize(d);
-    }
-  }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<int64_t>(series.size()) *
-                          static_cast<int64_t>(pairs.size()));
-}
-BENCHMARK(BM_SaxNaiveMultiParam)->Arg(4000)->Arg(16000);
-
-// Fast path: shared multi-resolution encoder (Section 6.2).
-void BM_SaxMultiResEncoder(benchmark::State& state) {
-  const auto series = BenchSeries(static_cast<size_t>(state.range(0)));
-  const auto pairs = core::DrawParameterSample(10, 10, 50, 3);
-  for (auto _ : state) {
-    sax::MultiResSaxEncoder encoder(series, 100, 10);
-    auto d = encoder.EncodeAll(pairs);
-    benchmark::DoNotOptimize(d);
-  }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<int64_t>(series.size()) *
-                          static_cast<int64_t>(pairs.size()));
-}
-BENCHMARK(BM_SaxMultiResEncoder)->Arg(4000)->Arg(16000);
-
-// Single-resolution discretization throughput for reference.
-void BM_SaxSingleResolution(benchmark::State& state) {
-  const auto series = BenchSeries(static_cast<size_t>(state.range(0)));
-  sax::SaxParams sp;
-  sp.window_length = 100;
-  sp.paa_size = 4;
-  sp.alphabet_size = 4;
-  for (auto _ : state) {
-    auto d = sax::DiscretizeSeries(series, sp);
-    benchmark::DoNotOptimize(d);
-  }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<int64_t>(series.size()));
-}
-BENCHMARK(BM_SaxSingleResolution)->Arg(4000)->Arg(64000);
-
-// Breakpoint-summary lookups vs direct per-alphabet binary search.
-void BM_BreakpointSummaryLookup(benchmark::State& state) {
-  sax::BreakpointSummary summary(20);
-  Rng rng(5);
-  std::vector<double> values(1024);
-  for (auto& v : values) v = rng.Gaussian();
-  size_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(summary.IntervalForValue(values[i++ & 1023]));
-  }
-}
-BENCHMARK(BM_BreakpointSummaryLookup);
-
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using namespace egi;
+  const bool json = bench::JsonOutputEnabled(argc, argv);
+  const bool quick = GetEnvBool("EGI_BENCH_QUICK", false);
+  const int reps = quick ? 3 : 5;
+  const std::vector<size_t> lengths =
+      quick ? std::vector<size_t>{4000} : std::vector<size_t>{4000, 16000};
+  const size_t window = 100;
+  const auto pairs = core::DrawParameterSample(10, 10, 50, 3);
+
+  if (!json) {
+    std::printf("== SAX discretization throughput (%zu (w,a) pairs) ==\n",
+                pairs.size());
+    std::printf("best of %d reps per cell%s\n\n", reps,
+                quick ? " [QUICK]" : "");
+  }
+
+  TextTable table("discretization throughput");
+  table.SetHeader(
+      {"Mode", "Series", "Time (s)", "Positions*params/sec"});
+
+  for (const size_t len : lengths) {
+    const auto series = BenchSeries(len);
+    const double work =
+        static_cast<double>(len) * static_cast<double>(pairs.size());
+
+    // Baseline: one independent DiscretizeSeries per (w, a) — recomputes
+    // prefix statistics and breakpoint lookups every time (the
+    // "straightforward manner" of Section 6.2.3).
+    const double naive_s = bench::BestSeconds(reps, [&] {
+      for (const auto& p : pairs) {
+        sax::SaxParams sp;
+        sp.window_length = window;
+        sp.paa_size = p.paa_size;
+        sp.alphabet_size = p.alphabet_size;
+        auto d = sax::DiscretizeSeries(series, sp);
+        bench::KeepAlive(d);
+      }
+    });
+
+    // Fast path: shared multi-resolution encoder (Section 6.2), including
+    // its construction (prefix stats + breakpoint summary).
+    const double multi_s = bench::BestSeconds(reps, [&] {
+      sax::MultiResSaxEncoder encoder(series, window, 10);
+      auto d = encoder.EncodeAll(pairs);
+      bench::KeepAlive(d);
+    });
+
+    // EncodeAll alone on a prebuilt encoder: the per-refit cost paid by
+    // callers that keep the encoder (length-stable streaming buffers).
+    sax::MultiResSaxEncoder prebuilt(series, window, 10);
+    const double encode_s = bench::BestSeconds(reps, [&] {
+      auto d = prebuilt.EncodeAll(pairs);
+      bench::KeepAlive(d);
+    });
+
+    for (const auto& [mode, secs] :
+         {std::pair<const char*, double>{"naive_per_pair", naive_s},
+          std::pair<const char*, double>{"multires", multi_s},
+          std::pair<const char*, double>{"multires_encode_only", encode_s}}) {
+      const double rate = work / std::max(secs, 1e-12);
+      if (json) {
+        bench::JsonRecord("micro_sax")
+            .Add("mode", mode)
+            .Add("series_length", static_cast<int64_t>(len))
+            .Add("window", static_cast<int64_t>(window))
+            .Add("pairs", static_cast<int64_t>(pairs.size()))
+            .Add("seconds", secs)
+            .Add("positions_params_per_sec", rate)
+            .Add("quick", quick)
+            .Emit(std::cout);
+      } else {
+        table.AddRow({mode, std::to_string(len), FormatDouble(secs, 4),
+                      FormatDouble(rate, 0)});
+      }
+    }
+  }
+
+  if (!json) {
+    table.Print(std::cout);
+    std::printf(
+        "\nmultires shares prefix stats and the merged breakpoint summary "
+        "across all\npairs; words are packed into integer codes, never "
+        "built as strings.\n");
+  }
+  return 0;
+}

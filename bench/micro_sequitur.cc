@@ -1,13 +1,25 @@
 // Micro-benchmarks for Sequitur grammar induction: the paper's pipeline is
 // linear-time overall, which requires Sequitur to stay amortized O(1) per
-// appended token on both random and highly repetitive inputs.
+// appended token on both random and highly repetitive inputs. Also measures
+// the builder-reuse path (Reset() + flat digram table) that the ensemble
+// and streaming refits run on, against a from-scratch builder per grammar.
+//
+// EGI_BENCH_QUICK=1 shrinks the sweep (CI smoke mode); --json (or
+// EGI_BENCH_JSON=1) emits one JSON object per line for BENCH_*.json
+// tracking instead of the human-readable table.
 
-#include <benchmark/benchmark.h>
-
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "grammar/sequitur.h"
+#include "util/env.h"
 #include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
 
 namespace {
 
@@ -21,42 +33,89 @@ std::vector<int32_t> RandomTokens(size_t n, int alphabet, uint64_t seed) {
   return tokens;
 }
 
-void BM_SequiturRandomTokens(benchmark::State& state) {
-  const auto tokens =
-      RandomTokens(static_cast<size_t>(state.range(0)), 26, 11);
-  for (auto _ : state) {
-    auto g = grammar::InduceGrammar(tokens);
-    benchmark::DoNotOptimize(g);
-  }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<int64_t>(tokens.size()));
+std::vector<int32_t> PeriodicTokens(size_t n, int period) {
+  std::vector<int32_t> tokens(n);
+  for (size_t i = 0; i < n; ++i)
+    tokens[i] = static_cast<int32_t>(i % static_cast<size_t>(period));
+  return tokens;
 }
-BENCHMARK(BM_SequiturRandomTokens)->Range(1024, 1 << 17);
-
-void BM_SequiturPeriodicTokens(benchmark::State& state) {
-  std::vector<int32_t> tokens(static_cast<size_t>(state.range(0)));
-  for (size_t i = 0; i < tokens.size(); ++i)
-    tokens[i] = static_cast<int32_t>(i % 7);
-  for (auto _ : state) {
-    auto g = grammar::InduceGrammar(tokens);
-    benchmark::DoNotOptimize(g);
-  }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<int64_t>(tokens.size()));
-}
-BENCHMARK(BM_SequiturPeriodicTokens)->Range(1024, 1 << 17);
-
-void BM_SequiturSmallAlphabet(benchmark::State& state) {
-  const auto tokens = RandomTokens(static_cast<size_t>(state.range(0)), 3, 13);
-  for (auto _ : state) {
-    auto g = grammar::InduceGrammar(tokens);
-    benchmark::DoNotOptimize(g);
-  }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<int64_t>(tokens.size()));
-}
-BENCHMARK(BM_SequiturSmallAlphabet)->Range(1024, 1 << 16);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using namespace egi;
+  const bool json = bench::JsonOutputEnabled(argc, argv);
+  const bool quick = GetEnvBool("EGI_BENCH_QUICK", false);
+  const int reps = quick ? 3 : 5;
+  const std::vector<size_t> sizes =
+      quick ? std::vector<size_t>{4096, 32768}
+            : std::vector<size_t>{4096, 32768, 131072};
+
+  struct Input {
+    const char* name;
+    std::vector<int32_t> (*make)(size_t);
+  };
+  const Input inputs[] = {
+      {"random_a26", [](size_t n) { return RandomTokens(n, 26, 11); }},
+      {"periodic_p7", [](size_t n) { return PeriodicTokens(n, 7); }},
+      {"random_a3", [](size_t n) { return RandomTokens(n, 3, 13); }},
+  };
+
+  if (!json) {
+    std::printf("== Sequitur grammar induction throughput ==\n");
+    std::printf("best of %d reps per cell%s\n\n", reps,
+                quick ? " [QUICK]" : "");
+  }
+
+  TextTable table("sequitur induction throughput");
+  table.SetHeader({"Input", "Tokens", "Builder", "Time (s)", "Tokens/sec"});
+
+  for (const auto& input : inputs) {
+    for (const size_t n : sizes) {
+      const auto tokens = input.make(n);
+
+      // Fresh builder per grammar (the one-shot InduceGrammar path).
+      const double fresh_s = bench::BestSeconds(reps, [&] {
+        auto g = grammar::InduceGrammar(tokens);
+        bench::KeepAlive(g);
+      });
+
+      // Reused builder (the ensemble / streaming-refit path): arenas and
+      // the digram table survive across grammars via Reset().
+      grammar::SequiturBuilder builder;
+      const double reused_s = bench::BestSeconds(reps, [&] {
+        builder.Reset();
+        builder.AppendAll(tokens);
+        auto g = builder.Build();
+        bench::KeepAlive(g);
+      });
+
+      for (const auto& [mode, secs] :
+           {std::pair<const char*, double>{"fresh", fresh_s},
+            std::pair<const char*, double>{"reused", reused_s}}) {
+        const double tps = static_cast<double>(n) / std::max(secs, 1e-12);
+        if (json) {
+          bench::JsonRecord("micro_sequitur")
+              .Add("input", input.name)
+              .Add("tokens", static_cast<int64_t>(n))
+              .Add("builder", mode)
+              .Add("seconds", secs)
+              .Add("tokens_per_sec", tps)
+              .Add("quick", quick)
+              .Emit(std::cout);
+        } else {
+          table.AddRow({input.name, std::to_string(n), mode,
+                        FormatDouble(secs, 4), FormatDouble(tps, 0)});
+        }
+      }
+    }
+  }
+
+  if (!json) {
+    table.Print(std::cout);
+    std::printf(
+        "\nthe reused-builder rows are the hot configuration: the ensemble's "
+        "N members\nand every streaming refit run through Reset() builders.\n");
+  }
+  return 0;
+}

@@ -6,11 +6,27 @@
 #include <string>
 
 #include "core/gi.h"
+#include "grammar/sequitur.h"
 #include "ts/stats.h"
 #include "util/check.h"
 #include "util/rng.h"
 
 namespace egi::core {
+
+namespace {
+
+// One Sequitur builder per executing thread, reused (via Reset) across the
+// N ensemble members of a run and across runs — including every streaming
+// refit. Pool workers are process-lived, so each worker's arenas and digram
+// table warm up once and then serve all subsequent grammar inductions
+// allocation-free. Safe because ParallelFor never migrates a running chunk
+// between threads, and builder reuse is bitwise-output-equivalent (tested).
+grammar::SequiturBuilder& WorkerScratchBuilder() {
+  thread_local grammar::SequiturBuilder builder;
+  return builder;
+}
+
+}  // namespace
 
 Status ValidateEnsembleParams(size_t series_length,
                               const EnsembleParams& params) {
@@ -153,7 +169,8 @@ Result<std::vector<std::vector<double>>> ComputeMemberDensityCurves(
   exec::ParallelFor(params.parallelism, 0, discretized.size(), /*grain=*/1,
                     [&](size_t i) {
                       curves[i] = RunGrammarInductionOnTokens(
-                                      discretized[i], params.boundary_correction)
+                                      discretized[i], params.boundary_correction,
+                                      &WorkerScratchBuilder())
                                       .density;
                     });
   if (artifacts != nullptr) artifacts->discretized = std::move(discretized);

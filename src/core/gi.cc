@@ -6,12 +6,20 @@
 namespace egi::core {
 
 GiRun RunGrammarInductionOnTokens(const sax::DiscretizedSeries& discretized,
-                                  bool boundary_correction) {
+                                  bool boundary_correction,
+                                  grammar::SequiturBuilder* scratch) {
   GiRun run;
   run.num_tokens = discretized.seq.size();
   run.vocabulary = discretized.table.size();
 
-  const grammar::Grammar g = grammar::InduceGrammar(discretized.seq.tokens);
+  grammar::Grammar g;
+  if (scratch != nullptr) {
+    scratch->Reset();
+    scratch->AppendAll(discretized.seq.tokens);
+    g = scratch->Build();
+  } else {
+    g = grammar::InduceGrammar(discretized.seq.tokens);
+  }
   run.num_rules = g.rules.size();
   run.grammar_symbols = g.TotalRhsSymbols();
   run.density = grammar::BuildRuleDensityCurve(

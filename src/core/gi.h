@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "grammar/grammar.h"
+#include "grammar/sequitur.h"
 #include "sax/sax_encoder.h"
 #include "ts/stats.h"
 #include "util/result.h"
@@ -40,8 +41,11 @@ Result<GiRun> RunGrammarInduction(std::span<const double> series,
 
 /// Same pipeline starting from an already-discretized series (used by the
 /// ensemble so discretization can be shared through the multi-resolution
-/// encoder).
+/// encoder). When `scratch` is non-null the induction runs through
+/// scratch->Reset() + AppendAll instead of a fresh builder, reusing its
+/// arenas and digram table; the output is bitwise-identical either way.
 GiRun RunGrammarInductionOnTokens(const sax::DiscretizedSeries& discretized,
-                                  bool boundary_correction = true);
+                                  bool boundary_correction = true,
+                                  grammar::SequiturBuilder* scratch = nullptr);
 
 }  // namespace egi::core

@@ -1,0 +1,136 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace egi::grammar {
+
+/// Open-addressing hash table mapping a digram key — the (int64, int64)
+/// identity pair of two adjacent grammar symbols — to a pointer value.
+/// Replaces std::unordered_map in the Sequitur hot loop: linear probing over
+/// one flat slot array (no per-node allocation, no bucket chasing), erase by
+/// backward shifting (no tombstones, so probe chains never degrade), and an
+/// O(capacity) Clear() that keeps the allocation for builder reuse.
+///
+/// `V` must be a pointer type; value-initialized V (nullptr) marks an empty
+/// slot, so nullptr cannot be stored as a value.
+template <typename V>
+class DigramTable {
+ public:
+  DigramTable() = default;
+
+  size_t size() const { return size_; }
+
+  /// Inserts (a, b) -> value when the key is absent; returns the value now
+  /// stored under the key (the existing one on a hit) and whether an insert
+  /// happened.
+  std::pair<V, bool> Emplace(int64_t a, int64_t b, V value) {
+    EGI_DCHECK(value != V{});
+    Reserve(size_ + 1);
+    const size_t mask = slots_.size() - 1;
+    size_t i = Hash(a, b) & mask;
+    while (slots_[i].value != V{}) {
+      if (slots_[i].a == a && slots_[i].b == b) return {slots_[i].value, false};
+      i = (i + 1) & mask;
+    }
+    slots_[i] = Slot{a, b, value};
+    ++size_;
+    return {value, true};
+  }
+
+  /// Unconditionally maps (a, b) to `value` (insert or overwrite).
+  void InsertOrAssign(int64_t a, int64_t b, V value) {
+    EGI_DCHECK(value != V{});
+    Reserve(size_ + 1);
+    const size_t mask = slots_.size() - 1;
+    size_t i = Hash(a, b) & mask;
+    while (slots_[i].value != V{}) {
+      if (slots_[i].a == a && slots_[i].b == b) {
+        slots_[i].value = value;
+        return;
+      }
+      i = (i + 1) & mask;
+    }
+    slots_[i] = Slot{a, b, value};
+    ++size_;
+  }
+
+  /// Erases the entry for (a, b) only when it currently maps to `value`
+  /// (the Sequitur DeleteDigram contract: unregister this exact occurrence).
+  void EraseIfEquals(int64_t a, int64_t b, V value) {
+    if (slots_.empty()) return;
+    const size_t mask = slots_.size() - 1;
+    size_t i = Hash(a, b) & mask;
+    while (slots_[i].value != V{}) {
+      if (slots_[i].a == a && slots_[i].b == b) {
+        if (slots_[i].value == value) EraseAt(i);
+        return;
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+  /// Empties the table, keeping the slot array allocated.
+  void Clear() {
+    for (Slot& s : slots_) s.value = V{};
+    size_ = 0;
+  }
+
+ private:
+  struct Slot {
+    int64_t a = 0;
+    int64_t b = 0;
+    V value{};  // V{} (nullptr) marks the slot empty
+  };
+
+  static size_t Hash(int64_t a, int64_t b) {
+    uint64_t h = static_cast<uint64_t>(a) * 0x9E3779B97F4A7C15ULL;
+    h ^= static_cast<uint64_t>(b) + 0x9E3779B97F4A7C15ULL + (h << 6) +
+         (h >> 2);
+    return static_cast<size_t>(h);
+  }
+
+  void Reserve(size_t entries) {
+    if (!slots_.empty() && entries * 10 <= slots_.size() * 7) return;
+    const size_t new_cap = slots_.empty() ? 64 : slots_.size() * 2;
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_cap, Slot{});
+    const size_t mask = new_cap - 1;
+    for (const Slot& s : old) {
+      if (s.value == V{}) continue;
+      size_t i = Hash(s.a, s.b) & mask;
+      while (slots_[i].value != V{}) i = (i + 1) & mask;
+      slots_[i] = s;
+    }
+  }
+
+  /// Backward-shift deletion: closes the probe chain through slot `i` so
+  /// lookups never need tombstones. An entry at j (ideal slot k) may move
+  /// into the hole at i iff k is cyclically outside (i, j] — the standard
+  /// linear-probing invariant.
+  void EraseAt(size_t i) {
+    const size_t mask = slots_.size() - 1;
+    --size_;
+    size_t j = i;
+    while (true) {
+      slots_[i].value = V{};
+      while (true) {
+        j = (j + 1) & mask;
+        if (slots_[j].value == V{}) return;
+        const size_t k = Hash(slots_[j].a, slots_[j].b) & mask;
+        if (((j - k) & mask) >= ((j - i) & mask)) break;
+      }
+      slots_[i] = slots_[j];
+      i = j;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  size_t size_ = 0;
+};
+
+}  // namespace egi::grammar

@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "grammar/digram_table.h"
 #include "util/check.h"
 
 namespace egi::grammar {
@@ -26,34 +27,25 @@ struct RuleImpl {
   Node* guard_node = nullptr;
   int refcount = 0;
   bool alive = true;
-  size_t uid = 0;  // creation index; never reused, keys digram entries
-};
-
-// Digram key: identity of two adjacent symbols. Terminals map to their token
-// id, non-terminals to -(uid+1); uids are unique for the lifetime of the
-// builder, so dead rules can never alias live digram entries.
-struct DigramKey {
-  int64_t a = 0;
-  int64_t b = 0;
-  bool operator==(const DigramKey&) const = default;
-};
-
-struct DigramKeyHash {
-  size_t operator()(const DigramKey& k) const {
-    uint64_t h = static_cast<uint64_t>(k.a) * 0x9E3779B97F4A7C15ULL;
-    h ^= static_cast<uint64_t>(k.b) + 0x9E3779B97F4A7C15ULL + (h << 6) +
-         (h >> 2);
-    return static_cast<size_t>(h);
-  }
+  size_t uid = 0;  // creation index; unique per run, keys digram entries
 };
 
 }  // namespace
 
+// Digram keys are the identity of two adjacent symbols: terminals map to
+// their token id, non-terminals to -(uid+1). Uids are unique between
+// Reset()s and the digram table is cleared on Reset, so dead rules can never
+// alias live digram entries.
 struct SequiturBuilder::Impl {
+  // Arena storage with bump-pointer reuse: Reset() rewinds `nodes_used` /
+  // `rules_used` instead of deallocating, so a reused builder appends into
+  // memory that is already hot. Deque growth keeps node addresses stable.
   std::deque<Node> node_arena;
+  size_t nodes_used = 0;
   std::vector<Node*> free_nodes;
   std::deque<RuleImpl> rule_arena;
-  std::unordered_map<DigramKey, Node*, DigramKeyHash> digrams;
+  size_t rules_used = 0;
+  DigramTable<Node*> digrams;
   RuleImpl* root = nullptr;
   size_t appended = 0;
 
@@ -66,16 +58,28 @@ struct SequiturBuilder::Impl {
       *n = Node{};
       return n;
     }
+    if (nodes_used < node_arena.size()) {
+      Node* n = &node_arena[nodes_used++];
+      *n = Node{};
+      return n;
+    }
     node_arena.emplace_back();
+    ++nodes_used;
     return &node_arena.back();
   }
 
   void FreeNode(Node* n) { free_nodes.push_back(n); }
 
   RuleImpl* NewRule() {
-    rule_arena.emplace_back();
-    RuleImpl* r = &rule_arena.back();
-    r->uid = rule_arena.size() - 1;
+    RuleImpl* r;
+    if (rules_used < rule_arena.size()) {
+      r = &rule_arena[rules_used];
+      *r = RuleImpl{};
+    } else {
+      rule_arena.emplace_back();
+      r = &rule_arena.back();
+    }
+    r->uid = rules_used++;
     Node* g = NewNode();
     g->guard = true;
     g->rule = r;
@@ -83,6 +87,15 @@ struct SequiturBuilder::Impl {
     g->next = g;
     r->guard_node = g;
     return r;
+  }
+
+  void Reset() {
+    free_nodes.clear();
+    nodes_used = 0;
+    rules_used = 0;
+    digrams.Clear();
+    appended = 0;
+    root = NewRule();
   }
 
   static bool IsGuard(const Node* n) { return n->guard; }
@@ -97,16 +110,11 @@ struct SequiturBuilder::Impl {
     return n->terminal;
   }
 
-  DigramKey KeyOf(const Node* first) const {
-    return DigramKey{SymIdentity(first), SymIdentity(first->next)};
-  }
-
   // Removes the digram table entry for (first, first->next) if it points at
   // this exact occurrence.
   void DeleteDigram(Node* first) {
     if (IsGuard(first) || IsGuard(first->next)) return;
-    auto it = digrams.find(KeyOf(first));
-    if (it != digrams.end() && it->second == first) digrams.erase(it);
+    digrams.EraseIfEquals(SymIdentity(first), SymIdentity(first->next), first);
   }
 
   // Links left -> right, unregistering left's old outgoing digram.
@@ -136,13 +144,9 @@ struct SequiturBuilder::Impl {
   // known (a structural change happened or the occurrences overlap).
   bool Check(Node* s) {
     if (IsGuard(s) || IsGuard(s->next)) return false;
-    const DigramKey key = KeyOf(s);
-    auto it = digrams.find(key);
-    if (it == digrams.end()) {
-      digrams.emplace(key, s);
-      return false;
-    }
-    Node* found = it->second;
+    const auto [found, inserted] =
+        digrams.Emplace(SymIdentity(s), SymIdentity(s->next), s);
+    if (inserted) return false;
     if (found == s) return false;
     // Overlapping occurrences (e.g. "aaa") are left alone, as in canonical
     // Sequitur; non-overlapping repeats trigger rule creation/reuse.
@@ -200,7 +204,7 @@ struct SequiturBuilder::Impl {
       g->prev = c2;
       Substitute(m, r);
       Substitute(ss, r);
-      digrams[KeyOf(c1)] = c1;
+      digrams.InsertOrAssign(SymIdentity(c1), SymIdentity(c1->next), c1);
     }
     // Rule utility: if the first body symbol references a rule now used only
     // once, inline it (canonical checks exactly this position — the only one
@@ -234,8 +238,10 @@ struct SequiturBuilder::Impl {
     child->guard_node = nullptr;
 
     // Index the new boundary digram (canonical behaviour: overwrite).
-    if (!IsGuard(last) && !IsGuard(right)) digrams[KeyOf(last)] = last;
-    if (!IsGuard(left) && !IsGuard(first)) digrams[KeyOf(left)] = left;
+    if (!IsGuard(last) && !IsGuard(right))
+      digrams.InsertOrAssign(SymIdentity(last), SymIdentity(last->next), last);
+    if (!IsGuard(left) && !IsGuard(first))
+      digrams.InsertOrAssign(SymIdentity(left), SymIdentity(left->next), left);
   }
 
   void Append(int32_t token) {
@@ -260,6 +266,8 @@ void SequiturBuilder::AppendAll(std::span<const int32_t> tokens) {
   for (int32_t t : tokens) impl_->Append(t);
 }
 
+void SequiturBuilder::Reset() { impl_->Reset(); }
+
 size_t SequiturBuilder::num_appended() const { return impl_->appended; }
 
 Grammar SequiturBuilder::Build() const {
@@ -267,8 +275,10 @@ Grammar SequiturBuilder::Build() const {
   g.input_length = impl_->appended;
 
   // Compact alive rules (excluding the root) in creation order: R1, R2, ...
+  // Only the first `rules_used` arena slots belong to the current run.
   std::unordered_map<const RuleImpl*, size_t> index;
-  for (const RuleImpl& r : impl_->rule_arena) {
+  for (size_t q = 0; q < impl_->rules_used; ++q) {
+    const RuleImpl& r = impl_->rule_arena[q];
     if (!r.alive || &r == impl_->root) continue;
     index.emplace(&r, g.rules.size());
     g.rules.emplace_back();
@@ -291,7 +301,8 @@ Grammar SequiturBuilder::Build() const {
   g.root = extract_rhs(*impl_->root);
   {
     size_t k = 0;
-    for (const RuleImpl& r : impl_->rule_arena) {
+    for (size_t q = 0; q < impl_->rules_used; ++q) {
+      const RuleImpl& r = impl_->rule_arena[q];
       if (!r.alive || &r == impl_->root) continue;
       g.rules[k].rhs = extract_rhs(r);
       g.rules[k].usage = r.refcount;

@@ -19,6 +19,13 @@ namespace egi::grammar {
 /// implementation; the paper's worked example (Table 2) is reproduced
 /// exactly in tests. Call Build() at any point to extract an immutable
 /// Grammar artifact (the builder remains usable afterwards).
+///
+/// Internally the builder owns arena storage for symbol nodes and rules plus
+/// a flat open-addressing digram index (grammar/digram_table.h). Reset()
+/// rewinds all of it without deallocating, so hot loops that induce many
+/// grammars (the ensemble's N members, streaming refits) reuse one builder
+/// instead of paying allocation and page-fault cost per run; a
+/// build–reset–build cycle is bitwise-identical to a fresh builder (tested).
 class SequiturBuilder {
  public:
   SequiturBuilder();
@@ -34,6 +41,10 @@ class SequiturBuilder {
 
   /// Appends a whole sequence.
   void AppendAll(std::span<const int32_t> tokens);
+
+  /// Returns the builder to the empty state while keeping the node/rule
+  /// arenas and the digram table's capacity for reuse.
+  void Reset();
 
   /// Number of tokens appended so far.
   size_t num_appended() const;

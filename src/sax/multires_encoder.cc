@@ -1,9 +1,10 @@
 #include "sax/multires_encoder.h"
 
 #include <algorithm>
-#include <map>
+#include <numeric>
 #include <string>
 
+#include "sax/word_code.h"
 #include "util/check.h"
 
 namespace egi::sax {
@@ -43,31 +44,39 @@ Result<std::vector<DiscretizedSeries>> MultiResSaxEncoder::EncodeAll(
   }
 
   std::vector<DiscretizedSeries> results(params.size());
+  std::vector<WordCodec> codecs(params.size());
   for (size_t i = 0; i < params.size(); ++i) {
     results[i].series_length = stats_.size();
     results[i].window_length = window_length_;
     results[i].paa_size = params[i].paa_size;
     results[i].alphabet_size = params[i].alphabet_size;
+    codecs[i] = WordCodec(params[i].paa_size, params[i].alphabet_size);
+    results[i].table = TokenTable(codecs[i]);
   }
 
-  // Group requests by w so PAA is computed once per distinct w.
-  std::map<int, std::vector<size_t>> by_w;
-  for (size_t i = 0; i < params.size(); ++i)
-    by_w[params[i].paa_size].push_back(i);
+  // Group requests by w so PAA is computed once per distinct w: a flat
+  // index vector stably sorted by w, walked one equal-w run at a time.
+  std::vector<size_t> order(params.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return params[a].paa_size < params[b].paa_size;
+  });
 
   const FastPaa fast_paa(&stats_, norm_threshold_);
   const size_t positions = stats_.size() - window_length_ + 1;
 
   std::vector<double> coeffs;
   std::vector<size_t> intervals;
-  std::string word;
-  std::vector<std::string> last_words(params.size());
+  std::vector<WordCode> last_codes(params.size());
 
-  for (const auto& [w, request_indices] : by_w) {
+  for (size_t g = 0; g < order.size();) {
+    const int w = params[order[g]].paa_size;
+    size_t g_end = g;
+    while (g_end < order.size() && params[order[g_end]].paa_size == w) ++g_end;
+
     const auto uw = static_cast<size_t>(w);
     coeffs.resize(uw);
     intervals.resize(uw);
-    for (auto& lw : last_words) lw.clear();
 
     for (size_t pos = 0; pos < positions; ++pos) {
       fast_paa.Compute(pos, window_length_, w, coeffs);
@@ -75,20 +84,23 @@ Result<std::vector<DiscretizedSeries>> MultiResSaxEncoder::EncodeAll(
       for (size_t i = 0; i < uw; ++i)
         intervals[i] = summary_.IntervalForValue(coeffs[i]);
 
-      for (size_t ri : request_indices) {
+      for (size_t k = g; k < g_end; ++k) {
+        const size_t ri = order[k];
         const int a = params[ri].alphabet_size;
-        word.resize(uw);
+        const WordCodec& codec = codecs[ri];
+        WordCode code;
         for (size_t i = 0; i < uw; ++i)
-          word[i] = SymbolToChar(summary_.SymbolOfInterval(intervals[i], a));
+          codec.AppendSymbol(code, summary_.SymbolOfInterval(intervals[i], a));
         if (numerosity_reduction_ && !results[ri].seq.tokens.empty() &&
-            word == last_words[ri]) {
+            code == last_codes[ri]) {
           continue;
         }
-        results[ri].seq.tokens.push_back(results[ri].table.Intern(word));
+        results[ri].seq.tokens.push_back(results[ri].table.Intern(code));
         results[ri].seq.offsets.push_back(pos);
-        last_words[ri] = word;
+        last_codes[ri] = code;
       }
     }
+    g = g_end;
   }
   return results;
 }

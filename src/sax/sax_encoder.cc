@@ -38,6 +38,15 @@ Status ValidateSaxParams(size_t series_length, const SaxParams& params) {
     return Status::InvalidArgument("alphabet size must be in [2, 64], got " +
                                    std::to_string(params.alphabet_size));
   }
+  if (!WordCodec::Supported(params.paa_size, params.alphabet_size)) {
+    return Status::InvalidArgument(
+        "SAX word (w=" + std::to_string(params.paa_size) +
+        ", a=" + std::to_string(params.alphabet_size) + ") needs " +
+        std::to_string(params.paa_size *
+                       BitsPerSymbol(params.alphabet_size)) +
+        " bits, exceeding the " + std::to_string(kWordCodeBits) +
+        "-bit packed word code; reduce w or a");
+  }
   if (params.norm_threshold < 0.0) {
     return Status::InvalidArgument("normalization threshold must be >= 0");
   }
@@ -78,24 +87,26 @@ Result<DiscretizedSeries> DiscretizeSeries(std::span<const double> series,
   const ts::PrefixStats stats(series);
   const FastPaa fast_paa(&stats, params.norm_threshold);
   const auto bps = GaussianBreakpoints(params.alphabet_size);
+  const WordCodec codec(params.paa_size, params.alphabet_size);
+  out.table = TokenTable(codec);
 
   const size_t positions = series.size() - params.window_length + 1;
   std::vector<double> coeffs(static_cast<size_t>(params.paa_size));
-  std::string word(static_cast<size_t>(params.paa_size), 'a');
-  std::string last_word;
+  WordCode last_code;
 
   for (size_t p = 0; p < positions; ++p) {
     fast_paa.Compute(p, params.window_length, params.paa_size, coeffs);
+    WordCode code;
     for (size_t i = 0; i < coeffs.size(); ++i) {
-      word[i] = SymbolToChar(SymbolForValue(coeffs[i], bps));
+      codec.AppendSymbol(code, SymbolForValue(coeffs[i], bps));
     }
     if (params.numerosity_reduction && !out.seq.tokens.empty() &&
-        word == last_word) {
+        code == last_code) {
       continue;
     }
-    out.seq.tokens.push_back(out.table.Intern(word));
+    out.seq.tokens.push_back(out.table.Intern(code));
     out.seq.offsets.push_back(p);
-    last_word = word;
+    last_code = code;
   }
   return out;
 }

@@ -20,7 +20,8 @@ struct SaxParams {
 };
 
 /// A discretized time series: the numerosity-reduced token sequence plus the
-/// word table needed to render tokens back into SAX strings.
+/// token table mapping ids to packed word codes (strings are rendered
+/// lazily, only for display — see sax/word_code.h).
 struct DiscretizedSeries {
   TokenSequence seq;
   TokenTable table;

@@ -2,65 +2,90 @@
 
 #include <cstdint>
 #include <string>
-#include <string_view>
-#include <unordered_map>
 #include <vector>
 
+#include "sax/word_code.h"
 #include "util/check.h"
 
 namespace egi::sax {
 
-/// Interns SAX words into dense non-negative token ids. Sequitur operates on
-/// integer tokens; this table keeps the id <-> word mapping so grammar rules
-/// can be rendered back into readable strings (e.g. for the examples).
+/// Interns packed SAX word codes into dense non-negative token ids. Sequitur
+/// operates on integer tokens; this table keeps the id <-> code mapping so
+/// grammar rules can be rendered back into readable strings (e.g. for the
+/// examples) — rendering is lazy, the hot path stores and probes only
+/// 128-bit codes through an open-addressing flat table (linear probing,
+/// insert-only, power-of-two capacity).
 class TokenTable {
  public:
-  /// Returns the id for `word`, creating one if unseen.
-  int32_t Intern(std::string_view word) {
-    auto it = ids_.find(word);
-    if (it != ids_.end()) return it->second;
-    const auto id = static_cast<int32_t>(words_.size());
-    words_.emplace_back(word);
-    ids_.emplace(words_.back(), id);
+  /// A table with no layout; usable once assigned from a codec-bearing one.
+  TokenTable() = default;
+
+  /// An empty table for words of `codec`'s (w, a) layout.
+  explicit TokenTable(const WordCodec& codec) : codec_(codec) {}
+
+  /// Returns the id for `code`, creating one if unseen.
+  int32_t Intern(const WordCode& code) {
+    if (codes_.size() + 1 > (slots_.size() * 7) / 10) Grow();
+    const size_t mask = slots_.size() - 1;
+    size_t i = WordCodeHash{}(code) & mask;
+    while (slots_[i].id >= 0) {
+      if (slots_[i].code == code) return slots_[i].id;
+      i = (i + 1) & mask;
+    }
+    const auto id = static_cast<int32_t>(codes_.size());
+    codes_.push_back(code);
+    slots_[i] = Slot{code, id};
     return id;
   }
 
-  /// Id for `word`, or -1 if unseen.
-  int32_t Find(std::string_view word) const {
-    auto it = ids_.find(word);
-    return it == ids_.end() ? -1 : it->second;
+  /// Id for `code`, or -1 if unseen. Allocation-free.
+  int32_t Find(const WordCode& code) const {
+    if (slots_.empty()) return -1;
+    const size_t mask = slots_.size() - 1;
+    size_t i = WordCodeHash{}(code) & mask;
+    while (slots_[i].id >= 0) {
+      if (slots_[i].code == code) return slots_[i].id;
+      i = (i + 1) & mask;
+    }
+    return -1;
   }
 
-  /// Word for an existing id.
-  const std::string& Word(int32_t id) const {
-    EGI_CHECK(id >= 0 && static_cast<size_t>(id) < words_.size())
+  /// Packed code for an existing id.
+  const WordCode& CodeAt(int32_t id) const {
+    EGI_CHECK(id >= 0 && static_cast<size_t>(id) < codes_.size())
         << "unknown token id " << id;
-    return words_[static_cast<size_t>(id)];
+    return codes_[static_cast<size_t>(id)];
   }
 
-  size_t size() const { return words_.size(); }
+  /// Renders an existing id as its letter word. Display-only (allocates).
+  std::string Word(int32_t id) const { return codec_.Render(CodeAt(id)); }
+
+  /// The (w, a) layout this table's codes are packed with.
+  const WordCodec& codec() const { return codec_; }
+
+  size_t size() const { return codes_.size(); }
 
  private:
-  // Heterogeneous lookup so Intern/Find take string_view without allocating
-  // on the hit path; map keys own their storage (words_ may reallocate and
-  // short strings use SSO, so views into words_ would dangle).
-  struct HashSv {
-    using is_transparent = void;
-    size_t operator()(std::string_view sv) const {
-      return std::hash<std::string_view>{}(sv);
-    }
-    size_t operator()(const std::string& s) const {
-      return std::hash<std::string_view>{}(s);
-    }
+  struct Slot {
+    WordCode code;
+    int32_t id = -1;  // -1 marks an empty slot
   };
-  struct EqSv {
-    using is_transparent = void;
-    bool operator()(std::string_view a, std::string_view b) const {
-      return a == b;
+
+  void Grow() {
+    const size_t new_cap = slots_.empty() ? 16 : slots_.size() * 2;
+    std::vector<Slot> fresh(new_cap);
+    const size_t mask = new_cap - 1;
+    for (size_t id = 0; id < codes_.size(); ++id) {
+      size_t i = WordCodeHash{}(codes_[id]) & mask;
+      while (fresh[i].id >= 0) i = (i + 1) & mask;
+      fresh[i] = Slot{codes_[id], static_cast<int32_t>(id)};
     }
-  };
-  std::vector<std::string> words_;
-  std::unordered_map<std::string, int32_t, HashSv, EqSv> ids_;
+    slots_ = std::move(fresh);
+  }
+
+  WordCodec codec_;
+  std::vector<WordCode> codes_;  // id -> code, in interning order
+  std::vector<Slot> slots_;      // open-addressing index over codes_
 };
 
 }  // namespace egi::sax

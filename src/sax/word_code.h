@@ -1,0 +1,143 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "sax/breakpoints.h"
+#include "util/check.h"
+
+namespace egi::sax {
+
+/// A SAX word packed losslessly into 128 bits: symbol indices are
+/// accumulated most-significant-first at a fixed number of bits per symbol
+/// (see WordCodec). Two words encoded by the same codec are equal iff their
+/// codes are equal, so the detection hot path — numerosity reduction,
+/// interning, and streaming model lookups — compares and hashes plain
+/// integers instead of constructing strings.
+struct WordCode {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  friend constexpr bool operator==(const WordCode&, const WordCode&) = default;
+};
+
+/// SplitMix-style mixer over both halves; used by TokenTable's open
+/// addressing, so avalanche quality matters more than speed of the last xor.
+struct WordCodeHash {
+  size_t operator()(const WordCode& c) const {
+    uint64_t x = (c.lo ^ (c.hi >> 32)) * 0x9E3779B97F4A7C15ULL;
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ULL;
+    x ^= c.hi * 0x94D049BB133111EBULL;
+    x ^= x >> 31;
+    return static_cast<size_t>(x);
+  }
+};
+
+/// Total capacity of a packed word code.
+inline constexpr int kWordCodeBits = 128;
+
+/// Bits needed to store one symbol of an alphabet of size `a` (>= 2):
+/// ceil(log2(a)), i.e. 1 bit for a = 2 up to 6 bits for a in (32, 64].
+constexpr int BitsPerSymbol(int alphabet_size) {
+  int bits = 1;
+  while ((1 << bits) < alphabet_size) ++bits;
+  return bits;
+}
+
+/// Fixed-layout packer for SAX words of one (w, a) discretization: w symbols
+/// at BitsPerSymbol(a) bits each, first symbol in the most significant
+/// position. A (w, a) pair is supported when the word fits the 128-bit code
+/// (w * BitsPerSymbol(a) <= 128) — this covers every configuration the paper
+/// sweeps (w, a <= 20 needs 100 bits) with headroom; ValidateSaxParams
+/// rejects the rest up front.
+class WordCodec {
+ public:
+  /// An empty codec (word length 0); usable only as a placeholder.
+  WordCodec() = default;
+
+  WordCodec(int word_length, int alphabet_size)
+      : word_length_(word_length),
+        alphabet_size_(alphabet_size),
+        bits_(BitsPerSymbol(alphabet_size)) {
+    EGI_CHECK(Supported(word_length, alphabet_size))
+        << "SAX word (w=" << word_length << ", a=" << alphabet_size
+        << ") does not fit a " << kWordCodeBits << "-bit packed code";
+  }
+
+  static constexpr bool Supported(int word_length, int alphabet_size) {
+    return word_length >= 1 && alphabet_size >= kMinAlphabetSize &&
+           alphabet_size <= kMaxAlphabetSize &&
+           word_length * BitsPerSymbol(alphabet_size) <= kWordCodeBits;
+  }
+
+  int word_length() const { return word_length_; }
+  int alphabet_size() const { return alphabet_size_; }
+  int bits_per_symbol() const { return bits_; }
+
+  /// Shifts `symbol` into the least significant end of `code`. Appending
+  /// word_length() symbols in order yields the word's packed code.
+  void AppendSymbol(WordCode& code, int symbol) const {
+    EGI_DCHECK(symbol >= 0 && symbol < alphabet_size_);
+    // bits_ is in [1, 6], so the complementary shift stays in [58, 63].
+    code.hi = (code.hi << bits_) | (code.lo >> (64 - bits_));
+    code.lo = (code.lo << bits_) | static_cast<uint64_t>(symbol);
+  }
+
+  /// Packs a whole symbol word (tests and non-hot-path callers).
+  WordCode Pack(std::span<const int> symbols) const {
+    EGI_CHECK(symbols.size() == static_cast<size_t>(word_length_));
+    WordCode code;
+    for (int s : symbols) AppendSymbol(code, s);
+    return code;
+  }
+
+  /// Symbol at position `i` (0 = first / most significant).
+  int SymbolAt(const WordCode& code, int i) const {
+    EGI_DCHECK(i >= 0 && i < word_length_);
+    const int shift = (word_length_ - 1 - i) * bits_;
+    const uint64_t mask = (uint64_t{1} << bits_) - 1;
+    uint64_t v;
+    if (shift >= 64) {
+      v = code.hi >> (shift - 64);
+    } else if (shift == 0) {
+      v = code.lo;
+    } else {
+      v = (code.lo >> shift) | (code.hi << (64 - shift));
+    }
+    return static_cast<int>(v & mask);
+  }
+
+  /// Renders the code back into the human-readable letter word ('a' + s).
+  /// Display-only: nothing in the detection hot path calls this.
+  std::string Render(const WordCode& code) const {
+    std::string word(static_cast<size_t>(word_length_), 'a');
+    for (int i = 0; i < word_length_; ++i) {
+      word[static_cast<size_t>(i)] = SymbolToChar(SymbolAt(code, i));
+    }
+    return word;
+  }
+
+  /// Packs a letter word (the Render inverse; tests / tooling).
+  WordCode PackText(std::string_view word) const {
+    EGI_CHECK(word.size() == static_cast<size_t>(word_length_));
+    WordCode code;
+    for (char ch : word) {
+      const int s = ch - 'a';
+      EGI_CHECK(s >= 0 && s < alphabet_size_)
+          << "letter '" << ch << "' outside alphabet of size "
+          << alphabet_size_;
+      AppendSymbol(code, s);
+    }
+    return code;
+  }
+
+ private:
+  int word_length_ = 0;
+  int alphabet_size_ = 0;
+  int bits_ = 1;
+};
+
+}  // namespace egi::sax

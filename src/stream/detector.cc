@@ -96,6 +96,9 @@ Status StreamDetector::RefitNow() {
   // scores against. Only kept members contribute to the ensemble curve, so
   // only they are modelled; counts are in sliding-window positions (each
   // numerosity-reduced token covers a run of identically-encoded positions).
+  // The refit's token table is adopted (moved) as the model index, so counts
+  // live in a dense vector keyed by token id — no word is ever re-hashed,
+  // let alone rendered.
   models_.clear();
   for (size_t m = 0; m < last_ensemble_.members.size(); ++m) {
     const auto& member = last_ensemble_.members[m];
@@ -104,14 +107,17 @@ Status StreamDetector::RefitNow() {
     model.paa_size = member.paa_size;
     model.alphabet_size = member.alphabet_size;
     model.breakpoints = sax::GaussianBreakpoints(model.alphabet_size);
-    const auto& series = artifacts.discretized[m];
+    auto& series = artifacts.discretized[m];
     const auto& seq = series.seq;
     const size_t num_positions = series.num_positions();
+    model.table = std::move(series.table);
+    model.position_counts.assign(model.table.size(), 0.0);
     for (size_t j = 0; j < seq.size(); ++j) {
       const size_t next =
           j + 1 < seq.size() ? seq.offsets[j + 1] : num_positions;
       const double run = static_cast<double>(next - seq.offsets[j]);
-      double& count = model.position_counts[series.table.Word(seq.tokens[j])];
+      double& count =
+          model.position_counts[static_cast<size_t>(seq.tokens[j])];
       count += run;
       model.max_count = std::max(model.max_count, count);
     }
@@ -151,18 +157,22 @@ double StreamDetector::ProvisionalScore() {
   member_scores_.reserve(models_.size());
   for (const MemberModel& model : models_) {
     // Encode only the one window the new point completed: PAA over the
-    // shared normalized window, then the member's cached breakpoints.
+    // shared normalized window, then the member's cached breakpoints,
+    // accumulated straight into a packed word code.
     paa_coeffs_.resize(static_cast<size_t>(model.paa_size));
     sax::Paa(normalized_window_, model.paa_size, paa_coeffs_);
-    word_.assign(static_cast<size_t>(model.paa_size), 'a');
+    const sax::WordCodec& codec = model.table.codec();
+    sax::WordCode code;
     for (size_t i = 0; i < paa_coeffs_.size(); ++i) {
-      word_[i] = sax::SymbolToChar(
-          sax::SymbolForValue(paa_coeffs_[i], model.breakpoints));
+      codec.AppendSymbol(
+          code, sax::SymbolForValue(paa_coeffs_[i], model.breakpoints));
     }
     double s = 0.0;
     if (model.max_count > 0.0) {
-      const auto it = model.position_counts.find(word_);
-      if (it != model.position_counts.end()) s = it->second / model.max_count;
+      const int32_t id = model.table.Find(code);
+      if (id >= 0) {
+        s = model.position_counts[static_cast<size_t>(id)] / model.max_count;
+      }
     }
     member_scores_.push_back(s);
   }

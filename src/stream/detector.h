@@ -2,11 +2,10 @@
 
 #include <cstdint>
 #include <span>
-#include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "core/ensemble.h"
+#include "sax/token_table.h"
 #include "stream/stream_window.h"
 #include "util/status.h"
 
@@ -111,13 +110,18 @@ class StreamDetector {
 
  private:
   /// Word-frequency model of one kept ensemble member, fitted at refit
-  /// time: SAX word -> number of sliding-window positions it covered in the
-  /// buffered window (numerosity-reduction run lengths included).
+  /// time: packed SAX word code -> number of sliding-window positions it
+  /// covered in the buffered window (numerosity-reduction run lengths
+  /// included). The refit's token table is adopted wholesale, so counts are
+  /// a dense vector indexed by token id and the per-point lookup is one
+  /// open-addressing probe on a 128-bit code — no string is constructed,
+  /// hashed, or compared anywhere in the scoring path.
   struct MemberModel {
     int paa_size = 0;
     int alphabet_size = 0;
     std::vector<double> breakpoints;  // Gaussian, cached for the hot path
-    std::unordered_map<std::string, double> position_counts;
+    sax::TokenTable table;            // code -> id, moved from the refit
+    std::vector<double> position_counts;  // indexed by token id
     double max_count = 0.0;
   };
 
@@ -137,7 +141,6 @@ class StreamDetector {
   std::vector<double> scratch_window_;     // last window copy
   std::vector<double> normalized_window_;  // z-normalized once per point
   std::vector<double> paa_coeffs_;         // per-member PAA output
-  std::string word_;                       // per-member SAX word
   std::vector<double> member_scores_;      // per-member scores for combining
 };
 

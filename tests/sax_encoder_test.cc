@@ -16,32 +16,66 @@ namespace {
 // ------------------------------------------------------------ token table
 
 TEST(TokenTableTest, InternAssignsDenseIds) {
-  TokenTable t;
-  EXPECT_EQ(t.Intern("ab"), 0);
-  EXPECT_EQ(t.Intern("bc"), 1);
-  EXPECT_EQ(t.Intern("ab"), 0);  // idempotent
+  const WordCodec codec(2, 4);
+  TokenTable t(codec);
+  EXPECT_EQ(t.Intern(codec.PackText("ab")), 0);
+  EXPECT_EQ(t.Intern(codec.PackText("bc")), 1);
+  EXPECT_EQ(t.Intern(codec.PackText("ab")), 0);  // idempotent
   EXPECT_EQ(t.size(), 2u);
   EXPECT_EQ(t.Word(0), "ab");
   EXPECT_EQ(t.Word(1), "bc");
 }
 
 TEST(TokenTableTest, FindWithoutInsert) {
-  TokenTable t;
-  t.Intern("xy");
-  EXPECT_EQ(t.Find("xy"), 0);
-  EXPECT_EQ(t.Find("zz"), -1);
+  const WordCodec codec(2, 26);
+  TokenTable t(codec);
+  t.Intern(codec.PackText("xy"));
+  EXPECT_EQ(t.Find(codec.PackText("xy")), 0);
+  EXPECT_EQ(t.Find(codec.PackText("zz")), -1);
 }
 
-TEST(TokenTableTest, ManyWordsSurviveReallocation) {
-  TokenTable t;
+TEST(TokenTableTest, CodeStringRoundTripsThroughTable) {
+  // Every interned id renders back to the word it was packed from, and the
+  // rendered word re-packs to a code that finds the same id.
+  const WordCodec codec(5, 8);
+  TokenTable t(codec);
+  Rng rng(21);
   std::vector<std::string> words;
-  for (int i = 0; i < 2000; ++i) {
-    words.push_back("w" + std::to_string(i));
-    EXPECT_EQ(t.Intern(words.back()), i);
+  for (int k = 0; k < 200; ++k) {
+    std::string w(5, 'a');
+    for (auto& ch : w)
+      ch = static_cast<char>('a' + rng.UniformInt(0, 7));
+    words.push_back(w);
+    t.Intern(codec.PackText(w));
   }
+  for (const auto& w : words) {
+    const int32_t id = t.Find(codec.PackText(w));
+    ASSERT_GE(id, 0);
+    EXPECT_EQ(t.Word(id), w);
+    EXPECT_EQ(t.Find(t.CodeAt(id)), id);
+  }
+}
+
+TEST(TokenTableTest, ManyWordsSurviveTableGrowth) {
+  // 2000 distinct codes force several open-addressing growths; ids must
+  // stay dense, stable, and findable throughout.
+  const WordCodec codec(8, 16);
+  TokenTable t(codec);
+  std::vector<WordCode> codes;
   for (int i = 0; i < 2000; ++i) {
-    EXPECT_EQ(t.Find(words[static_cast<size_t>(i)]), i);
-    EXPECT_EQ(t.Word(i), words[static_cast<size_t>(i)]);
+    std::vector<int> syms(8);
+    int v = i;
+    for (auto& s : syms) {
+      s = v & 15;
+      v >>= 4;
+    }
+    codes.push_back(codec.Pack(syms));
+    EXPECT_EQ(t.Intern(codes.back()), i);
+  }
+  EXPECT_EQ(t.size(), 2000u);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_EQ(t.Find(codes[static_cast<size_t>(i)]), i);
+    EXPECT_EQ(t.CodeAt(i), codes[static_cast<size_t>(i)]);
   }
 }
 
@@ -114,6 +148,24 @@ TEST(SaxWordTest, InvalidParamsRejected) {
   EXPECT_FALSE(SaxWordForSubsequence(v, 5, 4).ok());   // w > n
   EXPECT_FALSE(SaxWordForSubsequence(v, 2, 1).ok());   // a < 2
   EXPECT_FALSE(SaxWordForSubsequence(v, 2, 100).ok()); // a > max
+}
+
+TEST(DiscretizeTest, RejectsUnpackableWordConfigurations) {
+  // ValidateSaxParams enforces w * BitsPerSymbol(a) <= 128 so every layer
+  // downstream may assume words pack into one WordCode.
+  std::vector<double> v(300, 0.0);
+  SaxParams p;
+  p.window_length = 100;
+  p.paa_size = 22;
+  p.alphabet_size = 64;  // 22 * 6 = 132 bits: rejected
+  EXPECT_FALSE(DiscretizeSeries(v, p).ok());
+  p.paa_size = 21;  // 126 bits: the widest supported a=64 word
+  EXPECT_TRUE(DiscretizeSeries(v, p).ok());
+  p.paa_size = 26;
+  p.alphabet_size = 20;  // 26 * 5 = 130 bits: rejected
+  EXPECT_FALSE(DiscretizeSeries(v, p).ok());
+  p.paa_size = 25;  // 125 bits
+  EXPECT_TRUE(DiscretizeSeries(v, p).ok());
 }
 
 TEST(DiscretizeTest, ValidatesParams) {

@@ -208,5 +208,77 @@ TEST(SequiturTest, RejectsNegativeTokens) {
   EXPECT_DEATH(b.Append(-1), "non-negative");
 }
 
+// ------------------------------------------------------------ Reset reuse
+
+void ExpectGrammarsIdentical(const Grammar& a, const Grammar& b) {
+  EXPECT_EQ(a.input_length, b.input_length);
+  EXPECT_EQ(a.root, b.root);
+  ASSERT_EQ(a.rules.size(), b.rules.size());
+  for (size_t k = 0; k < a.rules.size(); ++k) {
+    EXPECT_EQ(a.rules[k].rhs, b.rules[k].rhs) << "rule " << k;
+    EXPECT_EQ(a.rules[k].usage, b.rules[k].usage) << "rule " << k;
+    EXPECT_EQ(a.rules[k].expansion_length, b.rules[k].expansion_length)
+        << "rule " << k;
+    EXPECT_EQ(a.rules[k].occurrences, b.rules[k].occurrences) << "rule " << k;
+  }
+}
+
+TEST(SequiturResetTest, BuildResetBuildMatchesFreshBuilder) {
+  // A reused builder must be indistinguishable from a fresh one: run a
+  // sequence of different inputs through one Reset() builder and compare
+  // every grammar against a from-scratch induction.
+  Rng rng(909);
+  SequiturBuilder reused;
+  for (int round = 0; round < 8; ++round) {
+    const size_t n = 64 + static_cast<size_t>(rng.UniformInt(0, 400));
+    const int alphabet = 2 + static_cast<int>(rng.UniformInt(0, 6));
+    std::vector<int32_t> in(n);
+    for (auto& t : in)
+      t = static_cast<int32_t>(rng.UniformInt(0, alphabet - 1));
+
+    reused.Reset();
+    reused.AppendAll(in);
+    const Grammar fresh = InduceGrammar(in);
+    const Grammar recycled = reused.Build();
+    ExpectGrammarsIdentical(fresh, recycled);
+    EXPECT_TRUE(recycled.Validate().ok());
+    EXPECT_EQ(recycled.ExpandRoot(), in);
+  }
+}
+
+TEST(SequiturResetTest, ResetClearsState) {
+  SequiturBuilder b;
+  b.AppendAll(Tokens({0, 1, 2, 3, 0, 1, 2, 3}));
+  EXPECT_EQ(b.num_appended(), 8u);
+  b.Reset();
+  EXPECT_EQ(b.num_appended(), 0u);
+  const Grammar empty = b.Build();
+  EXPECT_TRUE(empty.root.empty());
+  EXPECT_TRUE(empty.rules.empty());
+  // Still fully usable after an empty Build.
+  b.AppendAll(Tokens({0, 1, 2, 3, 4, 0, 1, 2}));
+  const Grammar g = b.Build();
+  ExpectGrammarsIdentical(g, InduceGrammar(Tokens({0, 1, 2, 3, 4, 0, 1, 2})));
+}
+
+TEST(SequiturResetTest, ResetAfterLargeInputShrinksToSmallInput) {
+  // Arena rewind across very different input sizes: big, then tiny, then
+  // big again — each must match a fresh induction.
+  std::vector<int32_t> big(20000);
+  for (size_t i = 0; i < big.size(); ++i)
+    big[i] = static_cast<int32_t>(i % 11);
+  const std::vector<int32_t> tiny{0, 1, 0, 1};
+
+  SequiturBuilder b;
+  b.AppendAll(big);
+  ExpectGrammarsIdentical(b.Build(), InduceGrammar(big));
+  b.Reset();
+  b.AppendAll(tiny);
+  ExpectGrammarsIdentical(b.Build(), InduceGrammar(tiny));
+  b.Reset();
+  b.AppendAll(big);
+  ExpectGrammarsIdentical(b.Build(), InduceGrammar(big));
+}
+
 }  // namespace
 }  // namespace egi::grammar

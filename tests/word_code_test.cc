@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "sax/word_code.h"
+#include "util/rng.h"
+
+namespace egi::sax {
+namespace {
+
+// ------------------------------------------------------------- bit layout
+
+TEST(WordCodeTest, BitsPerSymbolIsCeilLog2) {
+  EXPECT_EQ(BitsPerSymbol(2), 1);
+  EXPECT_EQ(BitsPerSymbol(3), 2);
+  EXPECT_EQ(BitsPerSymbol(4), 2);
+  EXPECT_EQ(BitsPerSymbol(5), 3);
+  EXPECT_EQ(BitsPerSymbol(8), 3);
+  EXPECT_EQ(BitsPerSymbol(9), 4);
+  EXPECT_EQ(BitsPerSymbol(16), 4);
+  EXPECT_EQ(BitsPerSymbol(17), 5);
+  EXPECT_EQ(BitsPerSymbol(20), 5);
+  EXPECT_EQ(BitsPerSymbol(32), 5);
+  EXPECT_EQ(BitsPerSymbol(33), 6);
+  EXPECT_EQ(BitsPerSymbol(64), 6);
+}
+
+TEST(WordCodeTest, SupportedBoundaries) {
+  // Capacity is exactly 128 bits.
+  EXPECT_TRUE(WordCodec::Supported(16, 16));    // 64 bits
+  EXPECT_TRUE(WordCodec::Supported(32, 16));    // 128 bits
+  EXPECT_FALSE(WordCodec::Supported(33, 16));   // 132 bits
+  EXPECT_TRUE(WordCodec::Supported(25, 20));    // 125 bits
+  EXPECT_FALSE(WordCodec::Supported(26, 20));   // 130 bits
+  EXPECT_TRUE(WordCodec::Supported(21, 64));    // 126 bits
+  EXPECT_FALSE(WordCodec::Supported(22, 64));   // 132 bits
+  EXPECT_TRUE(WordCodec::Supported(128, 2));    // 128 bits
+  EXPECT_FALSE(WordCodec::Supported(129, 2));
+  // Degenerate parameters.
+  EXPECT_FALSE(WordCodec::Supported(0, 4));
+  EXPECT_FALSE(WordCodec::Supported(4, 1));
+  EXPECT_FALSE(WordCodec::Supported(4, 65));
+  // Every configuration the paper sweeps (w, a <= 20) fits.
+  for (int w = 1; w <= 20; ++w)
+    for (int a = 2; a <= 20; ++a) EXPECT_TRUE(WordCodec::Supported(w, a));
+}
+
+// ------------------------------------------------------------ round trips
+
+TEST(WordCodeTest, PackUnpackRoundTripAtBoundaries) {
+  // (w, a) pairs at and inside the capacity edge, including both halves of
+  // the 128-bit code and the straddling middle symbol.
+  const std::vector<std::pair<int, int>> layouts = {
+      {16, 16}, {32, 16}, {25, 20}, {21, 64}, {128, 2}, {1, 2}, {20, 20}};
+  Rng rng(3);
+  for (const auto& [w, a] : layouts) {
+    const WordCodec codec(w, a);
+    for (int trial = 0; trial < 50; ++trial) {
+      std::vector<int> syms(static_cast<size_t>(w));
+      for (auto& s : syms) s = static_cast<int>(rng.UniformInt(0, a - 1));
+      const WordCode code = codec.Pack(syms);
+      for (int i = 0; i < w; ++i) {
+        ASSERT_EQ(codec.SymbolAt(code, i), syms[static_cast<size_t>(i)])
+            << "w=" << w << " a=" << a << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(WordCodeTest, ExtremeSymbolsRoundTrip) {
+  // All-max-symbol words exercise every bit of the layout; all-zero words
+  // exercise the empty-code edge.
+  for (const auto& [w, a] : std::vector<std::pair<int, int>>{
+           {16, 20}, {21, 64}, {32, 16}, {128, 2}}) {
+    const WordCodec codec(w, a);
+    std::vector<int> top(static_cast<size_t>(w), a - 1);
+    std::vector<int> zero(static_cast<size_t>(w), 0);
+    const WordCode tc = codec.Pack(top);
+    const WordCode zc = codec.Pack(zero);
+    EXPECT_FALSE(tc == zc);
+    for (int i = 0; i < w; ++i) {
+      EXPECT_EQ(codec.SymbolAt(tc, i), a - 1);
+      EXPECT_EQ(codec.SymbolAt(zc, i), 0);
+    }
+  }
+}
+
+TEST(WordCodeTest, DistinctWordsGetDistinctCodes) {
+  // Lossless packing: enumerate a whole small word space.
+  const WordCodec codec(4, 5);
+  std::unordered_set<std::string> rendered;
+  std::vector<WordCode> codes;
+  for (int s0 = 0; s0 < 5; ++s0)
+    for (int s1 = 0; s1 < 5; ++s1)
+      for (int s2 = 0; s2 < 5; ++s2)
+        for (int s3 = 0; s3 < 5; ++s3) {
+          const std::vector<int> syms{s0, s1, s2, s3};
+          const WordCode c = codec.Pack(syms);
+          for (const WordCode& prev : codes) EXPECT_FALSE(prev == c);
+          codes.push_back(c);
+          rendered.insert(codec.Render(c));
+        }
+  EXPECT_EQ(rendered.size(), 625u);
+}
+
+TEST(WordCodeTest, RenderAndPackTextAreInverse) {
+  const WordCodec codec(6, 10);
+  Rng rng(17);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<int> syms(6);
+    for (auto& s : syms) s = static_cast<int>(rng.UniformInt(0, 9));
+    const WordCode code = codec.Pack(syms);
+    const std::string word = codec.Render(code);
+    EXPECT_EQ(codec.PackText(word), code);
+  }
+  EXPECT_EQ(codec.Render(codec.PackText("abcdej")), "abcdej");
+}
+
+TEST(WordCodeTest, HashSpreadsNearbyCodes) {
+  // Not a statistical test — just a guard against a degenerate mixer that
+  // collapses sequential codes (the common case: consecutive symbols).
+  const WordCodec codec(8, 16);
+  std::unordered_set<size_t> hashes;
+  for (int i = 0; i < 4096; ++i) {
+    std::vector<int> syms(8, 0);
+    syms[7] = i & 15;
+    syms[6] = (i >> 4) & 15;
+    syms[5] = (i >> 8) & 15;
+    hashes.insert(WordCodeHash{}(codec.Pack(syms)));
+  }
+  EXPECT_GT(hashes.size(), 4000u);
+}
+
+}  // namespace
+}  // namespace egi::sax
