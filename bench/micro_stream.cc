@@ -7,11 +7,17 @@
 // the measured phase exercises the steady state: incremental word encodes
 // per point plus one amortized batch refit per `refit_interval` appends.
 //
+// --snapshot (or EGI_BENCH_SNAPSHOT=1) switches to the checkpoint mode:
+// snapshot/restore latency and blob size of a warmed detector as a function
+// of the buffered window size (the failover-cost curve; CI archives its
+// JSON output as BENCH_stream_snapshot.json).
+//
 // EGI_BENCH_QUICK=1 shrinks the sweep (CI smoke mode); --json (or
 // EGI_BENCH_JSON=1) emits one JSON object per line for BENCH_*.json
 // tracking instead of the human-readable table.
 
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 #include <string>
 #include <thread>
@@ -26,10 +32,98 @@
 #include "util/stopwatch.h"
 #include "util/table.h"
 
+namespace {
+
+// Snapshot/restore latency vs the buffered window size: how much state a
+// failover has to move, and what serializing it costs next to ingest work.
+int RunSnapshotMode(bool json, bool quick) {
+  using namespace egi;
+  const size_t window = 64;
+  const std::vector<size_t> buffer_capacities =
+      quick ? std::vector<size_t>{512, 2048}
+            : std::vector<size_t>{512, 2048, 8192, 32768};
+  const int reps = quick ? 5 : 20;
+
+  if (!json) {
+    std::printf("== Streaming detector: snapshot/restore latency ==\n");
+    std::printf("window %zu, best of %d reps%s\n\n", window, reps,
+                quick ? " [QUICK]" : "");
+  }
+
+  TextTable table("snapshot/restore cost vs buffered window");
+  table.SetHeader({"Buffer", "Blob (KiB)", "Snapshot (us)", "Restore (us)",
+                   "Roundtrip (us)"});
+
+  for (const size_t buffer_capacity : buffer_capacities) {
+    stream::StreamDetectorOptions opt;
+    opt.ensemble.window_length = window;
+    opt.ensemble.wmax = 8;
+    opt.ensemble.amax = 8;
+    opt.ensemble.ensemble_size = 20;
+    opt.buffer_capacity = buffer_capacity;
+    opt.refit_interval = buffer_capacity / 2;
+    stream::StreamDetector detector(opt);
+
+    // Warm through a full buffer and at least one refit, so the snapshot
+    // carries the steady-state payload (models, score ring, history).
+    Rng rng(9000 + buffer_capacity);
+    const auto data = datasets::MakeRandomWalk(buffer_capacity + window, rng);
+    for (const double v : data) detector.Append(v);
+    EGI_CHECK(detector.fitted()) << "warmup did not refit";
+
+    std::vector<uint8_t> blob;
+    const double snap_s = bench::BestSeconds(reps, [&] {
+      blob = detector.Serialize();
+      bench::KeepAlive(blob);
+    });
+    const double restore_s = bench::BestSeconds(reps, [&] {
+      auto restored = stream::StreamDetector::Deserialize(blob);
+      EGI_CHECK(restored.ok()) << restored.status().ToString();
+      bench::KeepAlive(*restored);
+    });
+
+    if (json) {
+      bench::JsonRecord("micro_stream_snapshot")
+          .Add("window", static_cast<int64_t>(window))
+          .Add("buffer_capacity", static_cast<int64_t>(buffer_capacity))
+          .Add("blob_bytes", static_cast<int64_t>(blob.size()))
+          .Add("snapshot_seconds", snap_s)
+          .Add("restore_seconds", restore_s)
+          .Add("quick", quick)
+          .Emit(std::cout);
+    } else {
+      table.AddRow({std::to_string(buffer_capacity),
+                    FormatDouble(static_cast<double>(blob.size()) / 1024.0, 1),
+                    FormatDouble(snap_s * 1e6, 1),
+                    FormatDouble(restore_s * 1e6, 1),
+                    FormatDouble((snap_s + restore_s) * 1e6, 1)});
+    }
+  }
+
+  if (!json) {
+    table.Print(std::cout);
+    std::printf(
+        "\nsnapshot cost scales with the buffered history (points + score\n"
+        "ring) plus the fitted member models; restore adds decode-side\n"
+        "validation and token-table re-interning.\n");
+  }
+  return 0;
+}
+
+bool SnapshotModeEnabled(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--snapshot") == 0) return true;
+  }
+  return egi::GetEnvBool("EGI_BENCH_SNAPSHOT", false);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace egi;
   const bool json = bench::JsonOutputEnabled(argc, argv);
   const bool quick = GetEnvBool("EGI_BENCH_QUICK", false);
+  if (SnapshotModeEnabled(argc, argv)) return RunSnapshotMode(json, quick);
 
   const size_t window = 64;
   const size_t buffer_capacity = quick ? 512 : 2048;

@@ -41,6 +41,16 @@ Status ValidateEnsembleParams(size_t series_length,
   if (params.amax > sax::kMaxAlphabetSize) {
     return Status::InvalidArgument("amax exceeds maximum alphabet size");
   }
+  // The widest drawable combination must pack into a 128-bit word code;
+  // otherwise whether a run fails would depend on which (w, a) pairs the
+  // seed happens to draw. Rejecting the whole grid keeps validation
+  // draw-independent (every paper configuration — w, a <= 20 — fits).
+  if (!sax::WordCodec::Supported(params.wmax, params.amax)) {
+    return Status::InvalidArgument(
+        "(wmax=" + std::to_string(params.wmax) +
+        ", amax=" + std::to_string(params.amax) +
+        ") admits draws whose SAX words exceed the 128-bit packed code");
+  }
   if (static_cast<size_t>(params.wmax) > params.window_length) {
     return Status::InvalidArgument("wmax must not exceed the window length");
   }

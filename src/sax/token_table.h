@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -64,6 +65,12 @@ class TokenTable {
   const WordCodec& codec() const { return codec_; }
 
   size_t size() const { return codes_.size(); }
+
+  /// All interned codes in id order (id i is codes()[i]). The snapshot
+  /// codec serializes exactly this: re-interning the codes in order rebuilds
+  /// a table whose probe layout — a function of insertion order alone — is
+  /// identical to the original's.
+  std::span<const WordCode> codes() const { return codes_; }
 
  private:
   struct Slot {

@@ -1,0 +1,132 @@
+#include "serialize/bytes.h"
+
+#include <bit>
+#include <cmath>
+
+namespace egi::serialize {
+
+void ByteWriter::PutDouble(double v) { PutU64(std::bit_cast<uint64_t>(v)); }
+
+Status ByteReader::ReadU8(uint8_t* out) {
+  if (remaining() < 1) return Status::OutOfRange("truncated u8");
+  *out = data_[pos_++];
+  return Status::OK();
+}
+
+Status ByteReader::ReadU32(uint32_t* out) {
+  if (remaining() < 4) return Status::OutOfRange("truncated u32");
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(data_[pos_ + static_cast<size_t>(i)]) << (8 * i);
+  }
+  pos_ += 4;
+  *out = v;
+  return Status::OK();
+}
+
+Status ByteReader::ReadU64(uint64_t* out) {
+  if (remaining() < 8) return Status::OutOfRange("truncated u64");
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(data_[pos_ + static_cast<size_t>(i)]) << (8 * i);
+  }
+  pos_ += 8;
+  *out = v;
+  return Status::OK();
+}
+
+Status ByteReader::ReadVarint(uint64_t* out) {
+  uint64_t v = 0;
+  for (size_t i = 0; i < 10; ++i) {
+    if (pos_ + i >= data_.size()) {
+      return Status::OutOfRange("truncated varint");
+    }
+    const uint8_t byte = data_[pos_ + i];
+    const uint64_t payload = byte & 0x7F;
+    // Byte 9 holds bits 63.. — only its lowest bit fits a uint64_t.
+    if (i == 9 && payload > 1) {
+      return Status::InvalidArgument("varint overflows 64 bits");
+    }
+    v |= payload << (7 * i);
+    if ((byte & 0x80) == 0) {
+      pos_ += i + 1;
+      *out = v;
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("varint longer than 10 bytes");
+}
+
+Status ByteReader::ReadDouble(double* out) {
+  uint64_t bits = 0;
+  EGI_RETURN_IF_ERROR(ReadU64(&bits));
+  *out = std::bit_cast<double>(bits);
+  return Status::OK();
+}
+
+Status ByteReader::ReadFiniteDouble(double* out) {
+  const size_t saved = pos_;
+  double v = 0.0;
+  EGI_RETURN_IF_ERROR(ReadDouble(&v));
+  if (!std::isfinite(v)) {
+    pos_ = saved;
+    return Status::InvalidArgument("non-finite double where finite required");
+  }
+  *out = v;
+  return Status::OK();
+}
+
+Status ByteReader::ReadBool(bool* out) {
+  const size_t saved = pos_;
+  uint8_t v = 0;
+  EGI_RETURN_IF_ERROR(ReadU8(&v));
+  if (v > 1) {
+    pos_ = saved;
+    return Status::InvalidArgument("bool byte is neither 0 nor 1");
+  }
+  *out = v == 1;
+  return Status::OK();
+}
+
+Status ByteReader::ReadString(std::string* out, size_t max_length) {
+  const size_t saved = pos_;
+  size_t len = 0;
+  EGI_RETURN_IF_ERROR(ReadLength(&len, 1));
+  if (len > max_length) {
+    pos_ = saved;
+    return Status::InvalidArgument("string longer than limit");
+  }
+  out->assign(reinterpret_cast<const char*>(data_.data() + pos_), len);
+  pos_ += len;
+  return Status::OK();
+}
+
+Status ByteReader::ReadLength(size_t* out, size_t min_bytes_per_element) {
+  const size_t saved = pos_;
+  uint64_t n = 0;
+  EGI_RETURN_IF_ERROR(ReadVarint(&n));
+  // remaining() is what the count must be backed by; the guard also keeps
+  // the value comfortably inside size_t on every platform.
+  if (min_bytes_per_element == 0) min_bytes_per_element = 1;
+  if (n > remaining() / min_bytes_per_element) {
+    pos_ = saved;
+    return Status::InvalidArgument("declared element count exceeds payload");
+  }
+  *out = static_cast<size_t>(n);
+  return Status::OK();
+}
+
+Status ByteReader::Skip(size_t n) {
+  if (n > remaining()) return Status::OutOfRange("skip past end of payload");
+  pos_ += n;
+  return Status::OK();
+}
+
+Status ByteReader::ExpectEnd() const {
+  if (pos_ != data_.size()) {
+    return Status::InvalidArgument("trailing bytes after payload");
+  }
+  return Status::OK();
+}
+
+}  // namespace egi::serialize

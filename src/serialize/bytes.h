@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace egi::serialize {
+
+/// Append-only little-endian byte sink for snapshot payloads. Encoding can
+/// never fail, so the writer has no Status surface; everything fallible
+/// lives on the decode side (ByteReader). Integers are fixed-width LE or
+/// LEB128 varints, doubles are their IEEE-754 bit pattern (exact for every
+/// value including -0.0, denormals, infinities, and NaN payloads — the
+/// bitwise-continuation guarantee of the streaming snapshots rests on this).
+class ByteWriter {
+ public:
+  void PutU8(uint8_t v) { out_.push_back(v); }
+
+  void PutU32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+
+  void PutU64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) out_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+
+  /// LEB128: 7 value bits per byte, high bit = continuation. At most 10
+  /// bytes for a uint64_t.
+  void PutVarint(uint64_t v) {
+    while (v >= 0x80) {
+      out_.push_back(static_cast<uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    out_.push_back(static_cast<uint8_t>(v));
+  }
+
+  /// IEEE-754 bit pattern, little endian. Exact round-trip for every value.
+  void PutDouble(double v);
+
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+
+  void PutBytes(std::span<const uint8_t> bytes) {
+    out_.insert(out_.end(), bytes.begin(), bytes.end());
+  }
+
+  /// Varint length followed by the raw bytes.
+  void PutString(std::string_view s) {
+    PutVarint(s.size());
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+
+  size_t size() const { return out_.size(); }
+  std::span<const uint8_t> bytes() const { return out_; }
+  std::vector<uint8_t> Take() { return std::move(out_); }
+
+ private:
+  std::vector<uint8_t> out_;
+};
+
+/// Bounds-checked decoder over a byte span. Every read returns Status and
+/// leaves the cursor unchanged on failure, so malformed or truncated input
+/// can never read out of bounds, over-allocate, or abort — the
+/// corruption-robustness contract of the snapshot format (exercised under
+/// ASan/UBSan by tests/serialize_test.cc).
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const uint8_t> data) : data_(data) {}
+
+  Status ReadU8(uint8_t* out);
+  Status ReadU32(uint32_t* out);
+  Status ReadU64(uint64_t* out);
+
+  /// Rejects truncated varints and encodings that overflow 64 bits.
+  Status ReadVarint(uint64_t* out);
+
+  /// Exact bit-pattern decode; accepts every IEEE-754 value.
+  Status ReadDouble(double* out);
+
+  /// ReadDouble plus rejection of NaN and +/-infinity, for fields whose
+  /// invariants require finite values (buffered points, model counts...).
+  Status ReadFiniteDouble(double* out);
+
+  /// Rejects any encoding other than literal 0 or 1.
+  Status ReadBool(bool* out);
+
+  /// Varint length (capped at `max_length`) followed by the bytes.
+  Status ReadString(std::string* out, size_t max_length);
+
+  /// Reads a varint element count and validates that `count *
+  /// min_bytes_per_element` more bytes are actually present, so a corrupted
+  /// length can never drive a pre-sized allocation beyond the blob itself.
+  Status ReadLength(size_t* out, size_t min_bytes_per_element);
+
+  /// Advances the cursor over `n` bytes (sub-section framing).
+  Status Skip(size_t n);
+
+  size_t position() const { return pos_; }
+  size_t remaining() const { return data_.size() - pos_; }
+
+  /// Error unless the cursor consumed the span exactly (trailing garbage is
+  /// corruption, not padding).
+  Status ExpectEnd() const;
+
+ private:
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace egi::serialize

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/status.h"
+
+namespace egi::serialize {
+
+/// First bytes of every snapshot blob: "EGIS".
+inline constexpr uint8_t kSnapshotMagic[4] = {'E', 'G', 'I', 'S'};
+
+/// Current snapshot format version. Policy: any change to the byte layout of
+/// an existing section bumps this (there is no in-place migration — decoders
+/// reject other versions with Status, and callers re-fit or re-snapshot).
+/// Purely additive trailing sections would also bump it: the decoder demands
+/// exact payload consumption, so v1 readers must never see v2 bytes.
+/// tests/stream_snapshot_test.cc's golden fixture pins the v1 layout.
+inline constexpr uint32_t kSnapshotVersion = 1;
+
+/// What a blob contains; part of the envelope so a detector snapshot can
+/// never be restored as an engine checkpoint or vice versa.
+enum class BlobKind : uint8_t {
+  kStreamDetector = 1,  ///< one StreamDetector (StreamDetector::Serialize)
+  kStreamEngine = 2,    ///< all streams of a StreamEngine (SaveAll)
+};
+
+/// CRC-32 (IEEE 802.3, reflected) of `data`. Snapshot payloads carry their
+/// checksum in the envelope, so any bit flip anywhere in the payload is a
+/// deterministic Status error rather than a silently different detector.
+uint32_t Crc32(std::span<const uint8_t> data);
+
+/// Wraps a payload in the versioned envelope:
+///   magic(4) | version(u32 LE) | kind(u8) | payload_len(u64 LE) |
+///   crc32(payload)(u32 LE) | payload
+std::vector<uint8_t> WrapPayload(BlobKind kind,
+                                 std::span<const uint8_t> payload);
+
+/// Validates the envelope of `blob` (magic, version, kind, exact length,
+/// checksum) and points `payload` at the enclosed bytes. Never reads out of
+/// bounds; every malformed input yields a Status error.
+Status UnwrapPayload(std::span<const uint8_t> blob, BlobKind expected_kind,
+                     std::span<const uint8_t>* payload);
+
+}  // namespace egi::serialize

@@ -12,17 +12,27 @@
 
 namespace egi::stream {
 
+Status StreamDetector::ValidateOptions(const StreamDetectorOptions& options) {
+  if (options.refit_interval < 1) {
+    return Status::InvalidArgument("refit_interval must be >= 1");
+  }
+  if (options.buffer_capacity < options.ensemble.window_length) {
+    return Status::InvalidArgument(
+        "buffer_capacity smaller than the window length");
+  }
+  // The buffered window is the longest series a refit will ever see; if the
+  // ensemble parameters are invalid for it they are invalid for every
+  // prefix, so fail fast here instead of at the first refit.
+  return core::ValidateEnsembleParams(options.buffer_capacity,
+                                      options.ensemble);
+}
+
 StreamDetector::StreamDetector(StreamDetectorOptions options)
     : options_(options),
       window_(options.buffer_capacity, options.ensemble.window_length),
       scores_(options.buffer_capacity) {
-  EGI_CHECK(options_.refit_interval >= 1) << "refit_interval must be >= 1";
-  // The buffered window is the longest series a refit will ever see; if the
-  // ensemble parameters are invalid for it they are invalid for every
-  // prefix, so fail fast here instead of at the first refit.
-  const Status st =
-      core::ValidateEnsembleParams(options_.buffer_capacity, options_.ensemble);
-  EGI_CHECK(st.ok()) << "invalid streaming ensemble params: " << st.ToString();
+  const Status st = ValidateOptions(options_);
+  EGI_CHECK(st.ok()) << "invalid streaming options: " << st.ToString();
 }
 
 ScoredPoint StreamDetector::Append(double value) {

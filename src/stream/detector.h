@@ -6,7 +6,9 @@
 
 #include "core/ensemble.h"
 #include "sax/token_table.h"
+#include "serialize/bytes.h"
 #include "stream/stream_window.h"
+#include "util/result.h"
 #include "util/status.h"
 
 namespace egi::stream {
@@ -66,6 +68,11 @@ class StreamDetector {
  public:
   explicit StreamDetector(StreamDetectorOptions options);
 
+  /// Status mirror of the constructor's validity checks (the constructor
+  /// aborts on violation — programmer error; snapshot restore routes
+  /// untrusted decoded options through this instead).
+  static Status ValidateOptions(const StreamDetectorOptions& options);
+
   /// Ingests one point and returns its score. Non-finite values are
   /// rejected: not buffered, returned with scored == false. O(1) amortized
   /// ring/stats work plus the incremental encode; a refit every
@@ -108,6 +115,23 @@ class StreamDetector {
   /// Full ensemble output (members, kept flags) of the last refit.
   const core::EnsembleResult& last_ensemble() const { return last_ensemble_; }
 
+  /// Serializes the complete detector state — options, counters, ring
+  /// contents, rolling-stats accumulators, per-member word-frequency models
+  /// (adopted refit TokenTables included), and the last ensemble result —
+  /// into a versioned, checksummed snapshot blob (src/serialize, DESIGN.md
+  /// "Snapshot format"). A detector restored from the blob continues
+  /// **bitwise-identically** to the uninterrupted original: same scores,
+  /// same refit boundaries, same member stats (the continuation-equivalence
+  /// guarantee, enforced by tests/stream_snapshot_test.cc). Callbacks are a
+  /// StreamEngine concern and are not captured.
+  std::vector<uint8_t> Serialize() const;
+
+  /// Restores a detector from a Serialize() blob. Every malformed input —
+  /// truncation, bit flips (checksummed), version or kind mismatches,
+  /// invariant-violating field values — yields a Status error, never a
+  /// crash.
+  static Result<StreamDetector> Deserialize(std::span<const uint8_t> blob);
+
  private:
   /// Word-frequency model of one kept ensemble member, fitted at refit
   /// time: packed SAX word code -> number of sliding-window positions it
@@ -127,6 +151,13 @@ class StreamDetector {
 
   Status RefitNow();
   double ProvisionalScore();
+
+  // Snapshot payload body (src/stream/snapshot.cc). WritePayload emits
+  // everything after the envelope; RestorePayload fills a freshly
+  // constructed detector (options already decoded and validated) and
+  // re-checks every cross-field invariant of the decoded state.
+  void WritePayload(serialize::ByteWriter& w) const;
+  Status RestorePayload(serialize::ByteReader& r);
 
   StreamDetectorOptions options_;
   StreamWindow window_;

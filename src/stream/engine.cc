@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "serialize/bytes.h"
+#include "serialize/format.h"
 #include "util/check.h"
 
 namespace egi::stream {
@@ -77,6 +79,64 @@ std::vector<ScoredPoint> StreamEngine::Ingest(StreamId id,
   out.reserve(values.size());
   IngestOne(id, values, &out);
   return out;
+}
+
+std::vector<uint8_t> StreamEngine::SaveAll() const {
+  // Per-stream detector blobs, produced concurrently. Each blob is a full
+  // detector snapshot (own envelope + checksum), so a section extracted
+  // from an engine checkpoint is restorable on its own — the unit a future
+  // multi-node resharding would migrate.
+  std::vector<std::vector<uint8_t>> sections(streams_.size());
+  exec::ParallelFor(options_.parallelism, 0, streams_.size(), /*grain=*/1,
+                    [&](size_t i) { sections[i] = streams_[i]->Serialize(); });
+
+  serialize::ByteWriter w;
+  w.PutVarint(sections.size());
+  for (const auto& section : sections) {
+    w.PutVarint(section.size());
+    w.PutBytes(section);
+  }
+  return serialize::WrapPayload(serialize::BlobKind::kStreamEngine, w.bytes());
+}
+
+Status StreamEngine::LoadAll(std::span<const uint8_t> blob) {
+  std::span<const uint8_t> payload;
+  EGI_RETURN_IF_ERROR(serialize::UnwrapPayload(
+      blob, serialize::BlobKind::kStreamEngine, &payload));
+  serialize::ByteReader r(payload);
+  size_t count = 0;
+  EGI_RETURN_IF_ERROR(r.ReadLength(&count, /*min_bytes_per_element=*/1));
+  std::vector<std::span<const uint8_t>> sections;
+  sections.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    size_t length = 0;
+    EGI_RETURN_IF_ERROR(r.ReadLength(&length, 1));
+    sections.push_back(payload.subspan(r.position(), length));
+    // ReadLength validated length <= remaining, so the skip stays in range.
+    EGI_RETURN_IF_ERROR(r.Skip(length));
+  }
+  EGI_RETURN_IF_ERROR(r.ExpectEnd());
+
+  // Decode all sections concurrently; commit only if every one restored.
+  std::vector<std::unique_ptr<StreamDetector>> restored(count);
+  std::vector<Status> statuses(count);
+  exec::ParallelFor(options_.parallelism, 0, count, /*grain=*/1, [&](size_t i) {
+    auto result = StreamDetector::Deserialize(sections[i]);
+    if (result.ok()) {
+      restored[i] = std::make_unique<StreamDetector>(std::move(*result));
+    } else {
+      statuses[i] = result.status();
+    }
+  });
+  for (size_t i = 0; i < count; ++i) {
+    if (!statuses[i].ok()) {
+      return Status(statuses[i].code(), "stream " + std::to_string(i) + ": " +
+                                            statuses[i].message());
+    }
+  }
+  streams_ = std::move(restored);
+  callbacks_.assign(streams_.size(), Callback());
+  return Status::OK();
 }
 
 }  // namespace egi::stream

@@ -72,6 +72,23 @@ class StreamEngine {
   const StreamDetector& detector(StreamId id) const;
   StreamDetector& detector(StreamId id);
 
+  /// Checkpoints every stream into one versioned engine blob: each
+  /// detector's snapshot payload is produced concurrently (sharded across
+  /// the exec pool, one stream per worker — the Ingest sharding rule), then
+  /// framed under a single engine envelope whose checksum covers all
+  /// streams. Stream ids are positional: blob section i restores stream i.
+  /// Callbacks are delivery plumbing, not model state, and are not captured
+  /// (DESIGN.md "Snapshot format").
+  std::vector<uint8_t> SaveAll() const;
+
+  /// Restores a SaveAll() checkpoint, replacing every current stream.
+  /// All-or-nothing: sections are decoded concurrently through the pool,
+  /// and on any failure the engine is left exactly as it was and the first
+  /// failing stream's error is returned. All callbacks are cleared (they
+  /// are not part of a checkpoint); engine options (defaults, parallelism)
+  /// are the live engine's, not the checkpoint's.
+  Status LoadAll(std::span<const uint8_t> blob);
+
  private:
   void IngestOne(StreamId id, std::span<const double> values,
                  std::vector<ScoredPoint>* out);

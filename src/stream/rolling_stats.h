@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 namespace egi::stream {
 
@@ -27,6 +28,29 @@ class RollingStats {
   size_t count() const { return count_; }
   double Sum() const { return sum_ + sum_comp_; }
   double SumSq() const { return sumsq_ + sumsq_comp_; }
+
+  /// The complete internal state, exposed for snapshot/restore. The
+  /// compensation terms are part of it: the running sums are a function of
+  /// the whole Add/Remove history, so a restored instance is
+  /// bitwise-continuous only if the raw accumulators (not the collapsed
+  /// Sum()/SumSq()) survive the round trip.
+  struct State {
+    uint64_t count = 0;
+    double sum = 0.0;
+    double sum_comp = 0.0;
+    double sumsq = 0.0;
+    double sumsq_comp = 0.0;
+  };
+  State SaveState() const {
+    return State{count_, sum_, sum_comp_, sumsq_, sumsq_comp_};
+  }
+  void RestoreState(const State& s) {
+    count_ = static_cast<size_t>(s.count);
+    sum_ = s.sum;
+    sum_comp_ = s.sum_comp;
+    sumsq_ = s.sumsq;
+    sumsq_comp_ = s.sumsq_comp;
+  }
 
   /// Mean of the windowed values; 0 when empty.
   double Mean() const;

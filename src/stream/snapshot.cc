@@ -1,0 +1,299 @@
+// Snapshot/restore of StreamDetector state (DESIGN.md "Snapshot format").
+//
+// The payload is written field-for-field from the live state and restored
+// verbatim — nothing numeric is recomputed on load except the per-member
+// Gaussian breakpoints, which are a pure function of the alphabet size.
+// That is what makes a restored detector continue bitwise-identically to
+// the uninterrupted original: the compensated rolling sums, the NaN markers
+// in the score ring, the interning order of every adopted TokenTable, and
+// the refit counters all survive exactly.
+//
+// The decode side trusts nothing: ByteReader bounds-checks every read, the
+// envelope checksum catches bit flips, and RestorePayload re-validates the
+// cross-field invariants a live detector maintains (sizes that must agree,
+// counters that must be ordered, models that must match the kept members).
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "sax/breakpoints.h"
+#include "serialize/codecs.h"
+#include "serialize/format.h"
+#include "stream/detector.h"
+
+namespace egi::stream {
+
+namespace {
+
+using serialize::ByteReader;
+using serialize::ByteWriter;
+
+void WriteOptions(ByteWriter& w, const StreamDetectorOptions& o) {
+  const core::EnsembleParams& e = o.ensemble;
+  w.PutVarint(e.window_length);
+  w.PutVarint(static_cast<uint64_t>(e.wmax));
+  w.PutVarint(static_cast<uint64_t>(e.amax));
+  w.PutVarint(static_cast<uint64_t>(e.ensemble_size));
+  w.PutDouble(e.selectivity);
+  w.PutU64(e.seed);
+  w.PutDouble(e.norm_threshold);
+  w.PutBool(e.numerosity_reduction);
+  w.PutVarint(static_cast<uint64_t>(std::max(e.parallelism.threads, 1)));
+  w.PutU8(static_cast<uint8_t>(e.combine));
+  w.PutU8(static_cast<uint8_t>(e.normalize));
+  w.PutBool(e.filter_by_std);
+  w.PutBool(e.boundary_correction);
+  w.PutVarint(o.buffer_capacity);
+  w.PutVarint(o.refit_interval);
+}
+
+Status ReadVarintInt(ByteReader& r, int* out, const char* what) {
+  uint64_t v = 0;
+  EGI_RETURN_IF_ERROR(r.ReadVarint(&v));
+  if (v > static_cast<uint64_t>(1) << 30) {
+    return Status::InvalidArgument(std::string(what) + " out of range");
+  }
+  *out = static_cast<int>(v);
+  return Status::OK();
+}
+
+Status ReadVarintSize(ByteReader& r, size_t* out, const char* what) {
+  uint64_t v = 0;
+  EGI_RETURN_IF_ERROR(r.ReadVarint(&v));
+  // Generous structural bound: no snapshot field legitimately reaches 2^48
+  // (counters included — that is ~8900 years of appends at 1M points/sec).
+  if (v > static_cast<uint64_t>(1) << 48) {
+    return Status::InvalidArgument(std::string(what) + " out of range");
+  }
+  *out = static_cast<size_t>(v);
+  return Status::OK();
+}
+
+Status ReadOptions(ByteReader& r, StreamDetectorOptions* out) {
+  StreamDetectorOptions o;
+  core::EnsembleParams& e = o.ensemble;
+  EGI_RETURN_IF_ERROR(ReadVarintSize(r, &e.window_length, "window_length"));
+  EGI_RETURN_IF_ERROR(ReadVarintInt(r, &e.wmax, "wmax"));
+  EGI_RETURN_IF_ERROR(ReadVarintInt(r, &e.amax, "amax"));
+  EGI_RETURN_IF_ERROR(ReadVarintInt(r, &e.ensemble_size, "ensemble_size"));
+  EGI_RETURN_IF_ERROR(r.ReadFiniteDouble(&e.selectivity));
+  EGI_RETURN_IF_ERROR(r.ReadU64(&e.seed));
+  EGI_RETURN_IF_ERROR(r.ReadFiniteDouble(&e.norm_threshold));
+  EGI_RETURN_IF_ERROR(r.ReadBool(&e.numerosity_reduction));
+  int threads = 1;
+  EGI_RETURN_IF_ERROR(ReadVarintInt(r, &threads, "parallelism.threads"));
+  e.parallelism = exec::Parallelism::Fixed(std::max(threads, 1));
+  uint8_t combine = 0;
+  EGI_RETURN_IF_ERROR(r.ReadU8(&combine));
+  if (combine > static_cast<uint8_t>(core::CombineRule::kMean)) {
+    return Status::InvalidArgument("unknown combine rule");
+  }
+  e.combine = static_cast<core::CombineRule>(combine);
+  uint8_t normalize = 0;
+  EGI_RETURN_IF_ERROR(r.ReadU8(&normalize));
+  if (normalize > static_cast<uint8_t>(core::NormalizeMode::kNone)) {
+    return Status::InvalidArgument("unknown normalize mode");
+  }
+  e.normalize = static_cast<core::NormalizeMode>(normalize);
+  EGI_RETURN_IF_ERROR(r.ReadBool(&e.filter_by_std));
+  EGI_RETURN_IF_ERROR(r.ReadBool(&e.boundary_correction));
+  EGI_RETURN_IF_ERROR(ReadVarintSize(r, &o.buffer_capacity, "buffer_capacity"));
+  EGI_RETURN_IF_ERROR(ReadVarintSize(r, &o.refit_interval, "refit_interval"));
+  *out = o;
+  return Status::OK();
+}
+
+}  // namespace
+
+void StreamDetector::WritePayload(ByteWriter& w) const {
+  // Counters.
+  w.PutVarint(appended_);
+  w.PutVarint(since_refit_);
+  w.PutVarint(refits_);
+  serialize::WriteStatus(w, last_refit_status_);
+
+  // Ingest layer: buffered points, rolling accumulators, append counter.
+  serialize::WriteDoubles(w, window_.Snapshot());
+  serialize::WriteRollingStats(w, window_.window_stats());
+  w.PutVarint(window_.total_appended());
+
+  // Score ring (NaN marks "never scored" — the bit pattern survives).
+  serialize::WriteDoubles(w, scores_.Snapshot());
+
+  // Last ensemble result (accessor fidelity; continuation itself only needs
+  // the models below, but restored introspection must match the original).
+  serialize::WriteDoubles(w, last_ensemble_.density);
+  w.PutVarint(last_ensemble_.members.size());
+  for (const core::EnsembleMember& m : last_ensemble_.members) {
+    w.PutVarint(static_cast<uint64_t>(m.paa_size));
+    w.PutVarint(static_cast<uint64_t>(m.alphabet_size));
+    w.PutDouble(m.std_dev);
+    w.PutBool(m.kept);
+  }
+
+  // Per-member word-frequency models, kept-member draw order. Breakpoints
+  // are not serialized (recomputed from the alphabet size on restore); the
+  // (w, a) layout travels inside each adopted TokenTable's codec.
+  w.PutVarint(models_.size());
+  for (const MemberModel& model : models_) {
+    serialize::WriteTokenTable(w, model.table);
+    serialize::WriteDoubles(w, model.position_counts);
+    w.PutDouble(model.max_count);
+  }
+}
+
+Status StreamDetector::RestorePayload(ByteReader& r) {
+  size_t counter = 0;
+  EGI_RETURN_IF_ERROR(ReadVarintSize(r, &counter, "appended"));
+  appended_ = counter;
+  EGI_RETURN_IF_ERROR(ReadVarintSize(r, &counter, "since_refit"));
+  since_refit_ = counter;
+  EGI_RETURN_IF_ERROR(ReadVarintSize(r, &counter, "refits"));
+  refits_ = counter;
+  EGI_RETURN_IF_ERROR(serialize::ReadStatus(r, &last_refit_status_));
+
+  std::vector<double> buffered;
+  EGI_RETURN_IF_ERROR(serialize::ReadDoubles(r, &buffered, /*allow_nan=*/false));
+  if (buffered.size() > options_.buffer_capacity) {
+    return Status::InvalidArgument("buffered points exceed capacity");
+  }
+  RollingStats stats;
+  EGI_RETURN_IF_ERROR(serialize::ReadRollingStats(r, &stats));
+  if (stats.count() != std::min(buffered.size(), window_length())) {
+    return Status::InvalidArgument(
+        "rolling-stats count disagrees with the buffered window");
+  }
+  uint64_t window_appended = 0;
+  {
+    size_t v = 0;
+    EGI_RETURN_IF_ERROR(ReadVarintSize(r, &v, "window total_appended"));
+    window_appended = v;
+  }
+  if (window_appended < buffered.size() || window_appended > appended_) {
+    return Status::InvalidArgument("append counters are inconsistent");
+  }
+  window_.RestoreState(buffered, stats.SaveState(), window_appended);
+
+  std::vector<double> scores;
+  EGI_RETURN_IF_ERROR(serialize::ReadDoubles(r, &scores, /*allow_nan=*/true));
+  if (scores.size() != buffered.size()) {
+    return Status::InvalidArgument("score ring disagrees with the buffer");
+  }
+  scores_.Clear();
+  for (const double s : scores) scores_.PushBack(s);
+
+  EGI_RETURN_IF_ERROR(serialize::ReadDoubles(r, &last_ensemble_.density,
+                                             /*allow_nan=*/false));
+  size_t member_count = 0;
+  EGI_RETURN_IF_ERROR(r.ReadLength(&member_count, /*min_bytes_per_element=*/4));
+  if (member_count > static_cast<size_t>(options_.ensemble.ensemble_size)) {
+    return Status::InvalidArgument("more members than the ensemble size");
+  }
+  last_ensemble_.members.clear();
+  last_ensemble_.members.reserve(member_count);
+  size_t kept_count = 0;
+  for (size_t i = 0; i < member_count; ++i) {
+    core::EnsembleMember m;
+    EGI_RETURN_IF_ERROR(ReadVarintInt(r, &m.paa_size, "member paa_size"));
+    EGI_RETURN_IF_ERROR(ReadVarintInt(r, &m.alphabet_size, "member alphabet"));
+    if (m.paa_size < 2 || m.paa_size > options_.ensemble.wmax ||
+        m.alphabet_size < 2 || m.alphabet_size > options_.ensemble.amax) {
+      return Status::InvalidArgument("member (w, a) outside the drawn grid");
+    }
+    EGI_RETURN_IF_ERROR(r.ReadFiniteDouble(&m.std_dev));
+    EGI_RETURN_IF_ERROR(r.ReadBool(&m.kept));
+    kept_count += m.kept ? 1 : 0;
+    last_ensemble_.members.push_back(m);
+  }
+
+  size_t model_count = 0;
+  EGI_RETURN_IF_ERROR(r.ReadLength(&model_count, /*min_bytes_per_element=*/4));
+  if (model_count != kept_count) {
+    return Status::InvalidArgument(
+        "model count disagrees with the kept members");
+  }
+  if (refits_ == 0 &&
+      (model_count != 0 || member_count != 0 || !last_ensemble_.density.empty())) {
+    return Status::InvalidArgument("fitted state with a zero refit count");
+  }
+  models_.clear();
+  models_.reserve(model_count);
+  size_t kept_index = 0;
+  for (size_t i = 0; i < model_count; ++i) {
+    MemberModel model;
+    EGI_RETURN_IF_ERROR(serialize::ReadTokenTable(r, &model.table));
+    model.paa_size = model.table.codec().word_length();
+    model.alphabet_size = model.table.codec().alphabet_size();
+    // Model i belongs to the i-th kept member, in draw order; its table
+    // layout must be that member's (w, a).
+    while (kept_index < last_ensemble_.members.size() &&
+           !last_ensemble_.members[kept_index].kept) {
+      ++kept_index;
+    }
+    const core::EnsembleMember& member = last_ensemble_.members[kept_index++];
+    if (model.paa_size != member.paa_size ||
+        model.alphabet_size != member.alphabet_size) {
+      return Status::InvalidArgument(
+          "model table layout disagrees with its kept member");
+    }
+    EGI_RETURN_IF_ERROR(serialize::ReadDoubles(r, &model.position_counts,
+                                               /*allow_nan=*/false));
+    if (model.position_counts.size() != model.table.size()) {
+      return Status::InvalidArgument(
+          "position counts disagree with the token table");
+    }
+    double expected_max = 0.0;
+    for (const double c : model.position_counts) {
+      if (c < 0.0) {
+        return Status::InvalidArgument("negative position count");
+      }
+      expected_max = std::max(expected_max, c);
+    }
+    EGI_RETURN_IF_ERROR(r.ReadFiniteDouble(&model.max_count));
+    if (model.max_count != expected_max) {
+      return Status::InvalidArgument(
+          "max_count disagrees with the position counts");
+    }
+    model.breakpoints = sax::GaussianBreakpoints(model.alphabet_size);
+    models_.push_back(std::move(model));
+  }
+  return Status::OK();
+}
+
+std::vector<uint8_t> StreamDetector::Serialize() const {
+  ByteWriter w;
+  WriteOptions(w, options_);
+  WritePayload(w);
+  return serialize::WrapPayload(serialize::BlobKind::kStreamDetector,
+                                w.bytes());
+}
+
+// Restore-side bound on buffer_capacity: the constructor pre-allocates two
+// rings of `capacity` doubles, so a forged-but-well-formed blob declaring an
+// absurd capacity must be a Status error here, not a bad_alloc after the
+// envelope checks passed. 2^26 points (~1 GiB of rings) is far beyond any
+// practical config — a refit batch-runs Algorithm 1 over the whole buffer.
+inline constexpr size_t kMaxRestoreBufferCapacity = size_t{1} << 26;
+
+Result<StreamDetector> StreamDetector::Deserialize(
+    std::span<const uint8_t> blob) {
+  std::span<const uint8_t> payload;
+  EGI_RETURN_IF_ERROR(serialize::UnwrapPayload(
+      blob, serialize::BlobKind::kStreamDetector, &payload));
+  ByteReader r(payload);
+  StreamDetectorOptions options;
+  EGI_RETURN_IF_ERROR(ReadOptions(r, &options));
+  if (options.buffer_capacity > kMaxRestoreBufferCapacity) {
+    return Status::InvalidArgument(
+        "snapshot buffer_capacity exceeds the restore limit");
+  }
+  EGI_RETURN_IF_ERROR(ValidateOptions(options));
+  StreamDetector detector(options);
+  EGI_RETURN_IF_ERROR(detector.RestorePayload(r));
+  EGI_RETURN_IF_ERROR(r.ExpectEnd());
+  return detector;
+}
+
+}  // namespace egi::stream

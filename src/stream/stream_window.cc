@@ -23,6 +23,17 @@ void StreamWindow::Append(double value) {
   ++total_appended_;
 }
 
+void StreamWindow::RestoreState(std::span<const double> values,
+                                const RollingStats::State& stats,
+                                uint64_t total_appended) {
+  EGI_CHECK(values.size() <= buffer_.capacity())
+      << "restore larger than capacity";
+  buffer_.Clear();
+  for (const double v : values) buffer_.PushBack(v);
+  window_stats_.RestoreState(stats);
+  total_appended_ = total_appended;
+}
+
 void StreamWindow::CopyWindow(std::span<double> out) const {
   EGI_CHECK(WindowReady()) << "no full window buffered yet";
   buffer_.CopyLast(window_length_, out);

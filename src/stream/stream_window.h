@@ -47,6 +47,18 @@ class StreamWindow {
 
   const RingBuffer<double>& buffer() const { return buffer_; }
 
+  /// Raw rolling statistics of the trailing window (snapshot/restore).
+  const RollingStats& window_stats() const { return window_stats_; }
+
+  /// Overwrites the complete ingest state: buffered points (oldest first,
+  /// at most capacity), the rolling-stats accumulators, and the append
+  /// counter. The rolling state is restored verbatim — not recomputed from
+  /// `values` — because the compensated sums depend on the whole Add/Remove
+  /// history and a recompute would break bitwise continuation. Caller
+  /// (StreamDetector restore) validates cross-field consistency first.
+  void RestoreState(std::span<const double> values,
+                    const RollingStats::State& stats, uint64_t total_appended);
+
  private:
   size_t window_length_;
   RingBuffer<double> buffer_;

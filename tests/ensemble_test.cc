@@ -171,6 +171,13 @@ TEST(EnsembleTest, ValidatesParameters) {
   p.wmax = 10;
   p.ensemble_size = 0;
   EXPECT_FALSE(ComputeEnsembleDensity(series, p).ok());
+  p.ensemble_size = 50;
+  p.wmax = 40;  // (w=40, a=64) would need 240 bits: grid rejected up front,
+  p.amax = 64;  // independent of which pairs the seed would draw
+  EXPECT_FALSE(ComputeEnsembleDensity(series, p).ok());
+  p.wmax = 20;  // the paper's largest sweep (100 bits) stays valid
+  p.amax = 20;
+  EXPECT_TRUE(ValidateEnsembleParams(series.size(), p).ok());
 }
 
 TEST(EnsembleTest, ProducesCurveOfSeriesLengthInUnitRange) {

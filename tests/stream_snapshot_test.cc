@@ -1,0 +1,506 @@
+// Continuation-equivalence, corruption-robustness, and golden-fixture tests
+// for the streaming snapshot subsystem (ISSUE 4 acceptance criterion): a
+// detector restored from a snapshot must continue **bitwise-identically** to
+// the uninterrupted original — same scores (NaN bits included), same refit
+// boundaries, same member stats — and every malformed blob must be a Status
+// error, never a crash.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "datasets/random_walk.h"
+#include "serialize/bytes.h"
+#include "serialize/format.h"
+#include "stream/detector.h"
+#include "stream/engine.h"
+#include "util/env.h"
+#include "util/rng.h"
+
+namespace egi::stream {
+namespace {
+
+StreamDetectorOptions SmallOptions() {
+  StreamDetectorOptions opt;
+  opt.ensemble.window_length = 40;
+  opt.ensemble.wmax = 6;
+  opt.ensemble.amax = 6;
+  opt.ensemble.ensemble_size = 12;
+  opt.ensemble.seed = 42;
+  opt.buffer_capacity = 256;
+  opt.refit_interval = 64;
+  return opt;
+}
+
+std::vector<double> TestSeries(size_t length, uint64_t seed = 2020) {
+  Rng rng(seed);
+  return datasets::MakeRandomWalk(length, rng);
+}
+
+uint64_t Bits(double v) { return std::bit_cast<uint64_t>(v); }
+
+// Bitwise comparison of two scored points (score NaN bits included).
+void ExpectPointsIdentical(const ScoredPoint& a, const ScoredPoint& b,
+                           size_t at) {
+  ASSERT_EQ(a.index, b.index) << "point " << at;
+  ASSERT_EQ(Bits(a.value), Bits(b.value)) << "point " << at;
+  ASSERT_EQ(Bits(a.score), Bits(b.score)) << "point " << at;
+  ASSERT_EQ(a.scored, b.scored) << "point " << at;
+  ASSERT_EQ(a.provisional, b.provisional) << "point " << at;
+  ASSERT_EQ(a.refit, b.refit) << "point " << at;
+}
+
+void ExpectDetectorsIdentical(const StreamDetector& a,
+                              const StreamDetector& b) {
+  EXPECT_EQ(a.total_appended(), b.total_appended());
+  EXPECT_EQ(a.buffered(), b.buffered());
+  EXPECT_EQ(a.refit_count(), b.refit_count());
+  EXPECT_EQ(a.appends_since_refit(), b.appends_since_refit());
+  EXPECT_EQ(a.last_refit_status(), b.last_refit_status());
+  EXPECT_EQ(a.window().total_appended(), b.window().total_appended());
+  EXPECT_EQ(Bits(a.window().WindowMean()), Bits(b.window().WindowMean()));
+  EXPECT_EQ(Bits(a.window().WindowStdDev()), Bits(b.window().WindowStdDev()));
+
+  const auto buf_a = a.BufferSnapshot();
+  const auto buf_b = b.BufferSnapshot();
+  ASSERT_EQ(buf_a.size(), buf_b.size());
+  for (size_t i = 0; i < buf_a.size(); ++i) {
+    ASSERT_EQ(Bits(buf_a[i]), Bits(buf_b[i])) << "buffer " << i;
+  }
+  const auto scores_a = a.ScoresSnapshot();
+  const auto scores_b = b.ScoresSnapshot();
+  ASSERT_EQ(scores_a.size(), scores_b.size());
+  for (size_t i = 0; i < scores_a.size(); ++i) {
+    ASSERT_EQ(Bits(scores_a[i]), Bits(scores_b[i])) << "score " << i;
+  }
+
+  const auto& ens_a = a.last_ensemble();
+  const auto& ens_b = b.last_ensemble();
+  ASSERT_EQ(ens_a.members.size(), ens_b.members.size());
+  for (size_t i = 0; i < ens_a.members.size(); ++i) {
+    EXPECT_EQ(ens_a.members[i].paa_size, ens_b.members[i].paa_size);
+    EXPECT_EQ(ens_a.members[i].alphabet_size, ens_b.members[i].alphabet_size);
+    EXPECT_EQ(Bits(ens_a.members[i].std_dev), Bits(ens_b.members[i].std_dev));
+    EXPECT_EQ(ens_a.members[i].kept, ens_b.members[i].kept);
+  }
+  ASSERT_EQ(ens_a.density.size(), ens_b.density.size());
+  for (size_t i = 0; i < ens_a.density.size(); ++i) {
+    ASSERT_EQ(Bits(ens_a.density[i]), Bits(ens_b.density[i])) << "density " << i;
+  }
+}
+
+// The core harness: run `prefix` points, snapshot, restore, then feed the
+// same `tail` to the uninterrupted detector and the restored one, demanding
+// bitwise-identical behavior at every step.
+void RunContinuationCase(size_t prefix_len, size_t total_len,
+                         const StreamDetectorOptions& opt) {
+  const auto series = TestSeries(total_len, /*seed=*/99);
+  StreamDetector original(opt);
+  for (size_t i = 0; i < prefix_len; ++i) original.Append(series[i]);
+
+  const std::vector<uint8_t> blob = original.Serialize();
+  auto restored = StreamDetector::Deserialize(blob);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ExpectDetectorsIdentical(original, *restored);
+
+  for (size_t i = prefix_len; i < series.size(); ++i) {
+    const ScoredPoint pa = original.Append(series[i]);
+    const ScoredPoint pb = restored->Append(series[i]);
+    ExpectPointsIdentical(pa, pb, i);
+  }
+  ExpectDetectorsIdentical(original, *restored);
+}
+
+TEST(StreamSnapshotTest, ContinuationBeforeFirstRefit) {
+  // Nothing fitted yet: only ring contents, rolling sums, and counters.
+  RunContinuationCase(/*prefix_len=*/30, /*total_len=*/400, SmallOptions());
+}
+
+TEST(StreamSnapshotTest, ContinuationMidRefitInterval) {
+  const auto opt = SmallOptions();
+  // 2.5 refit intervals in: fitted models plus provisional tail state.
+  RunContinuationCase(opt.refit_interval * 2 + opt.refit_interval / 2, 600,
+                      opt);
+}
+
+TEST(StreamSnapshotTest, ContinuationExactlyOnRefitBoundary) {
+  const auto opt = SmallOptions();
+  // The snapshot lands on the append that just completed a batch refit
+  // (since_refit == 0, fresh models): the next refit boundary must land
+  // refit_interval points later in both runs.
+  RunContinuationCase(opt.refit_interval * 3, 640, opt);
+}
+
+TEST(StreamSnapshotTest, ContinuationOnePointBeforeRefitBoundary) {
+  const auto opt = SmallOptions();
+  // The very next Append in both runs must trigger the refit.
+  RunContinuationCase(opt.refit_interval * 2 - 1, 500, opt);
+}
+
+TEST(StreamSnapshotTest, ContinuationAfterRingEviction) {
+  const auto opt = SmallOptions();
+  // Past buffer_capacity: the ring has wrapped, so the snapshot exercises
+  // logical-order (not physical-layout) serialization.
+  RunContinuationCase(opt.buffer_capacity + opt.refit_interval / 2, 700, opt);
+}
+
+TEST(StreamSnapshotTest, ContinuationWithRejectedValuesInHistory) {
+  const auto opt = SmallOptions();
+  const auto series = TestSeries(300, 7);
+  StreamDetector original(opt);
+  for (size_t i = 0; i < 150; ++i) {
+    original.Append(series[i]);
+    if (i % 40 == 13) {
+      original.Append(std::nan(""));  // rejected: appended_ advances anyway
+    }
+  }
+  const auto blob = original.Serialize();
+  auto restored = StreamDetector::Deserialize(blob);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ExpectDetectorsIdentical(original, *restored);
+  for (size_t i = 150; i < series.size(); ++i) {
+    const ScoredPoint pa = original.Append(series[i]);
+    const ScoredPoint pb = restored->Append(series[i]);
+    ExpectPointsIdentical(pa, pb, i);
+  }
+}
+
+TEST(StreamSnapshotTest, SerializeIsDeterministicAndRestartable) {
+  const auto opt = SmallOptions();
+  const auto series = TestSeries(200);
+  StreamDetector detector(opt);
+  for (const double v : series) detector.Append(v);
+
+  const auto blob1 = detector.Serialize();
+  const auto blob2 = detector.Serialize();
+  EXPECT_EQ(blob1, blob2);  // snapshotting is read-only and canonical
+
+  // decode -> encode is the identity on blobs (no recomputation on load).
+  auto restored = StreamDetector::Deserialize(blob1);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->Serialize(), blob1);
+}
+
+// ------------------------------------------------------------ StreamEngine
+
+std::vector<std::vector<double>> EngineSeries(size_t streams, size_t length) {
+  std::vector<std::vector<double>> data;
+  for (size_t s = 0; s < streams; ++s) {
+    Rng rng(4000 + s);
+    data.push_back(datasets::MakeRandomWalk(length, rng));
+  }
+  return data;
+}
+
+void IngestChunk(StreamEngine& engine,
+                 const std::vector<std::vector<double>>& data, size_t begin,
+                 size_t end) {
+  std::vector<StreamBatch> batches;
+  for (size_t s = 0; s < data.size(); ++s) {
+    batches.push_back(
+        StreamBatch{s, std::span<const double>(data[s]).subspan(
+                           begin, end - begin)});
+  }
+  engine.Ingest(batches);
+}
+
+void RunEngineCheckpointCase(int threads) {
+  const size_t kStreams = 3;
+  const size_t kPrefix = 160;
+  const size_t kTotal = 480;
+  StreamEngineOptions opt;
+  opt.detector = SmallOptions();
+  opt.parallelism = exec::Parallelism::Fixed(threads);
+  const auto data = EngineSeries(kStreams, kTotal);
+
+  StreamEngine original(opt);
+  for (size_t s = 0; s < kStreams; ++s) original.AddStream();
+  IngestChunk(original, data, 0, kPrefix);
+
+  const std::vector<uint8_t> checkpoint = original.SaveAll();
+
+  StreamEngine restored(opt);
+  ASSERT_TRUE(restored.LoadAll(checkpoint).ok());
+  ASSERT_EQ(restored.num_streams(), kStreams);
+  for (size_t s = 0; s < kStreams; ++s) {
+    ExpectDetectorsIdentical(original.detector(s), restored.detector(s));
+  }
+
+  // Continue both engines over the same tail (sharded ingest) and compare
+  // every per-point result delivered through callbacks.
+  std::vector<std::vector<ScoredPoint>> out_a(kStreams), out_b(kStreams);
+  for (size_t s = 0; s < kStreams; ++s) {
+    original.SetCallback(s, [&out_a](StreamId id, const ScoredPoint& pt) {
+      out_a[id].push_back(pt);
+    });
+    restored.SetCallback(s, [&out_b](StreamId id, const ScoredPoint& pt) {
+      out_b[id].push_back(pt);
+    });
+  }
+  IngestChunk(original, data, kPrefix, kTotal);
+  IngestChunk(restored, data, kPrefix, kTotal);
+  for (size_t s = 0; s < kStreams; ++s) {
+    ASSERT_EQ(out_a[s].size(), out_b[s].size());
+    for (size_t i = 0; i < out_a[s].size(); ++i) {
+      ExpectPointsIdentical(out_a[s][i], out_b[s][i], i);
+    }
+    ExpectDetectorsIdentical(original.detector(s), restored.detector(s));
+  }
+}
+
+TEST(StreamEngineSnapshotTest, CheckpointRestoreContinuationOneThread) {
+  RunEngineCheckpointCase(1);
+}
+
+TEST(StreamEngineSnapshotTest, CheckpointRestoreContinuationFourThreads) {
+  RunEngineCheckpointCase(4);
+}
+
+TEST(StreamEngineSnapshotTest, CheckpointIsThreadCountInvariant) {
+  // The checkpoint bytes themselves must not depend on the pool width.
+  const size_t kStreams = 3;
+  const auto data = EngineSeries(kStreams, 200);
+  std::vector<uint8_t> blobs[2];
+  const int thread_cases[2] = {1, 4};
+  for (int c = 0; c < 2; ++c) {
+    StreamEngineOptions opt;
+    opt.detector = SmallOptions();
+    opt.parallelism = exec::Parallelism::Fixed(thread_cases[c]);
+    StreamEngine engine(opt);
+    for (size_t s = 0; s < kStreams; ++s) engine.AddStream();
+    IngestChunk(engine, data, 0, data[0].size());
+    blobs[c] = engine.SaveAll();
+  }
+  EXPECT_EQ(blobs[0], blobs[1]);
+}
+
+TEST(StreamEngineSnapshotTest, EmptyEngineRoundTrips) {
+  StreamEngineOptions opt;
+  opt.detector = SmallOptions();
+  StreamEngine engine(opt);
+  const auto blob = engine.SaveAll();
+  StreamEngine other(opt);
+  other.AddStream();  // replaced wholesale by LoadAll
+  ASSERT_TRUE(other.LoadAll(blob).ok());
+  EXPECT_EQ(other.num_streams(), 0u);
+}
+
+TEST(StreamEngineSnapshotTest, LoadAllIsAllOrNothing) {
+  StreamEngineOptions opt;
+  opt.detector = SmallOptions();
+  StreamEngine engine(opt);
+  engine.AddStream();
+  engine.AddStream();
+  const auto data = EngineSeries(2, 100);
+  IngestChunk(engine, data, 0, 100);
+  auto checkpoint = engine.SaveAll();
+
+  // Corrupt one byte deep inside the payload (a stream section): LoadAll
+  // must fail and leave the target engine untouched.
+  checkpoint[checkpoint.size() / 2] ^= 0x40;
+  StreamEngine target(opt);
+  target.AddStream();
+  const auto before = target.detector(0).total_appended();
+  EXPECT_FALSE(target.LoadAll(checkpoint).ok());
+  EXPECT_EQ(target.num_streams(), 1u);
+  EXPECT_EQ(target.detector(0).total_appended(), before);
+}
+
+TEST(StreamEngineSnapshotTest, RejectsDetectorBlobAsEngineCheckpoint) {
+  StreamDetector detector(SmallOptions());
+  const auto blob = detector.Serialize();
+  StreamEngineOptions opt;
+  opt.detector = SmallOptions();
+  StreamEngine engine(opt);
+  EXPECT_FALSE(engine.LoadAll(blob).ok());
+  // And the converse: an engine checkpoint is not a detector snapshot.
+  const auto checkpoint = engine.SaveAll();
+  EXPECT_FALSE(StreamDetector::Deserialize(checkpoint).ok());
+}
+
+// ------------------------------------------------------------- corruption
+
+std::vector<uint8_t> FittedDetectorBlob() {
+  auto opt = SmallOptions();
+  opt.buffer_capacity = 128;
+  opt.ensemble.window_length = 24;
+  opt.ensemble.ensemble_size = 8;
+  opt.refit_interval = 48;
+  StreamDetector detector(opt);
+  const auto series = TestSeries(180, 31);
+  for (const double v : series) detector.Append(v);
+  EXPECT_TRUE(detector.fitted());
+  return detector.Serialize();
+}
+
+TEST(StreamSnapshotCorruptionTest, EveryTruncationIsAStatusError) {
+  const auto blob = FittedDetectorBlob();
+  for (size_t len = 0; len < blob.size();
+       len += (len < 64 ? 1 : 37)) {  // every early cut, then a stride
+    const auto st =
+        StreamDetector::Deserialize(std::span(blob).first(len)).status();
+    ASSERT_FALSE(st.ok()) << "truncation at " << len;
+  }
+}
+
+TEST(StreamSnapshotCorruptionTest, EveryByteFlipIsAStatusError) {
+  // One flipped bit per byte over the whole blob (header and payload; the
+  // rotating bit index varies the attack). The checksum guarantees payload
+  // flips are *detected*, not just survived — a flip must never produce a
+  // silently different detector.
+  const auto blob = FittedDetectorBlob();
+  for (size_t i = 0; i < blob.size(); ++i) {
+    auto bad = blob;
+    bad[i] = static_cast<uint8_t>(bad[i] ^ (1u << (i % 8)));
+    const auto result = StreamDetector::Deserialize(bad);
+    ASSERT_FALSE(result.ok()) << "flip at byte " << i << " was accepted";
+  }
+}
+
+TEST(StreamSnapshotCorruptionTest, VersionBumpIsRejected) {
+  auto blob = FittedDetectorBlob();
+  blob[4] = static_cast<uint8_t>(serialize::kSnapshotVersion + 1);
+  const auto st = StreamDetector::Deserialize(blob).status();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("version"), std::string::npos);
+}
+
+TEST(StreamSnapshotCorruptionTest, ForgedPayloadInvariantsAreRejected) {
+  // Bypass the checksum by re-wrapping a forged payload: the decoder's own
+  // cross-field validation must still reject inconsistent state.
+  const auto blob = FittedDetectorBlob();
+  std::span<const uint8_t> payload;
+  ASSERT_TRUE(serialize::UnwrapPayload(
+                  blob, serialize::BlobKind::kStreamDetector, &payload)
+                  .ok());
+  // Truncate the payload at various interior offsets and re-wrap with a
+  // fresh (valid) checksum: decode must fail on structure, not the CRC.
+  for (const size_t cut : {payload.size() - 1, payload.size() / 2,
+                           payload.size() / 3, size_t{5}}) {
+    const auto forged = serialize::WrapPayload(
+        serialize::BlobKind::kStreamDetector, payload.first(cut));
+    ASSERT_FALSE(StreamDetector::Deserialize(forged).ok()) << "cut " << cut;
+  }
+  // Appending trailing bytes past a complete payload must also fail.
+  std::vector<uint8_t> extended(payload.begin(), payload.end());
+  extended.push_back(0);
+  const auto forged = serialize::WrapPayload(
+      serialize::BlobKind::kStreamDetector, extended);
+  EXPECT_FALSE(StreamDetector::Deserialize(forged).ok());
+}
+
+TEST(StreamSnapshotCorruptionTest, AbsurdBufferCapacityIsRejectedNotAllocated) {
+  // A well-formed envelope whose options declare a petabyte-scale ring must
+  // be a Status error before the detector (which pre-allocates two rings of
+  // buffer_capacity doubles) is ever constructed.
+  serialize::ByteWriter w;
+  w.PutVarint(2);              // window_length
+  w.PutVarint(2);              // wmax
+  w.PutVarint(2);              // amax
+  w.PutVarint(1);              // ensemble_size
+  w.PutDouble(0.4);            // selectivity
+  w.PutU64(42);                // seed
+  w.PutDouble(0.01);           // norm_threshold
+  w.PutBool(true);             // numerosity_reduction
+  w.PutVarint(1);              // parallelism.threads
+  w.PutU8(0);                  // combine
+  w.PutU8(0);                  // normalize
+  w.PutBool(true);             // filter_by_std
+  w.PutBool(true);             // boundary_correction
+  w.PutVarint(uint64_t{1} << 45);  // buffer_capacity: ~2^45 points
+  w.PutVarint(64);             // refit_interval
+  const auto blob = serialize::WrapPayload(
+      serialize::BlobKind::kStreamDetector, w.bytes());
+  const auto st = StreamDetector::Deserialize(blob).status();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("restore limit"), std::string::npos);
+}
+
+TEST(StreamSnapshotCorruptionTest, EmptyAndGarbageBlobsAreRejected) {
+  EXPECT_FALSE(StreamDetector::Deserialize({}).ok());
+  const std::vector<uint8_t> garbage(64, 0xA5);
+  EXPECT_FALSE(StreamDetector::Deserialize(garbage).ok());
+  StreamEngineOptions opt;
+  opt.detector = SmallOptions();
+  StreamEngine engine(opt);
+  EXPECT_FALSE(engine.LoadAll(garbage).ok());
+}
+
+// ------------------------------------------------------------ golden blob
+
+std::string GoldenPath() {
+  return std::string(EGI_TEST_DATA_DIR) + "/stream_snapshot_v1.bin";
+}
+
+// The fixture generator: deterministic options + series, snapshot after 180
+// points. Run the test binary with EGI_UPDATE_GOLDEN=1 to (re)write the
+// fixture — required once per intentional format-version bump, forbidden
+// otherwise (that is the point of the test).
+StreamDetector GoldenDetector() {
+  StreamDetectorOptions opt;
+  opt.ensemble.window_length = 32;
+  opt.ensemble.wmax = 5;
+  opt.ensemble.amax = 5;
+  opt.ensemble.ensemble_size = 6;
+  opt.ensemble.seed = 20200317;
+  opt.buffer_capacity = 128;
+  opt.refit_interval = 50;
+  StreamDetector detector(opt);
+  const auto series = TestSeries(180, /*seed=*/424242);
+  for (const double v : series) detector.Append(v);
+  return detector;
+}
+
+TEST(StreamSnapshotGoldenTest, TodaysDecoderReadsTheCheckedInFixture) {
+  if (GetEnvBool("EGI_UPDATE_GOLDEN", false)) {
+    const auto blob = GoldenDetector().Serialize();
+    std::ofstream out(GoldenPath(), std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << GoldenPath();
+    out.write(reinterpret_cast<const char*>(blob.data()),
+              static_cast<std::streamsize>(blob.size()));
+    ASSERT_TRUE(out.good());
+    GTEST_SKIP() << "golden fixture regenerated at " << GoldenPath();
+  }
+
+  std::ifstream in(GoldenPath(), std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden fixture " << GoldenPath()
+                         << " (run with EGI_UPDATE_GOLDEN=1 to create it)";
+  std::vector<uint8_t> blob((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+  ASSERT_FALSE(blob.empty());
+
+  // 1. Today's decoder must read the v1 fixture...
+  auto restored = StreamDetector::Deserialize(blob);
+  ASSERT_TRUE(restored.ok())
+      << "the checked-in v1 snapshot no longer decodes — the format drifted; "
+         "bump serialize::kSnapshotVersion and regenerate the fixture: "
+      << restored.status().ToString();
+
+  // 2. ...agree on the (platform-independent) structural facts...
+  EXPECT_EQ(restored->options().ensemble.window_length, 32u);
+  EXPECT_EQ(restored->options().ensemble.seed, 20200317u);
+  EXPECT_EQ(restored->options().buffer_capacity, 128u);
+  EXPECT_EQ(restored->options().refit_interval, 50u);
+  EXPECT_EQ(restored->total_appended(), 180u);
+  EXPECT_EQ(restored->buffered(), 128u);
+  EXPECT_EQ(restored->refit_count(), 3u);  // appends 50, 100, 150
+  EXPECT_EQ(restored->appends_since_refit(), 30u);
+  EXPECT_TRUE(restored->fitted());
+  EXPECT_TRUE(restored->last_refit_status().ok());
+
+  // 3. ...and re-encode it byte-for-byte (decode->encode is pure data
+  // movement, so this holds on every platform; any layout change breaks it
+  // here first and forces a version bump).
+  EXPECT_EQ(restored->Serialize(), blob)
+      << "decode->encode no longer reproduces the v1 bytes — bump "
+         "serialize::kSnapshotVersion and regenerate the fixture";
+}
+
+}  // namespace
+}  // namespace egi::stream
