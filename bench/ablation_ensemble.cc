@@ -22,7 +22,8 @@ struct Variant {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (egi::bench::HandleStandardFlags(argc, argv)) return 0;
   using namespace egi;
   const auto settings = bench::SettingsFromEnv();
   bench::PrintPreamble("Ablation: Algorithm 1 design choices", settings);

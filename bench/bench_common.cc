@@ -6,6 +6,7 @@
 #include <ostream>
 
 #include "core/detector.h"
+#include "egi/registry.h"
 #include "eval/metrics.h"
 #include "exec/parallel.h"
 #include "util/env.h"
@@ -25,6 +26,16 @@ BenchSettings SettingsFromEnv() {
   s.methods.parallelism = exec::Parallelism::Fixed(static_cast<int>(
       GetEnvInt("EGI_DISCORD_THREADS", exec::Parallelism::FromEnv().threads)));
   return s;
+}
+
+bool HandleStandardFlags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--list-methods") == 0) {
+      std::fputs(FormatDetectorList().c_str(), stdout);
+      return true;
+    }
+  }
+  return false;
 }
 
 void PrintPreamble(const std::string& what, const BenchSettings& settings) {

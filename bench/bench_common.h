@@ -29,6 +29,12 @@ struct BenchSettings {
 
 BenchSettings SettingsFromEnv();
 
+/// Handles the flags every bench binary accepts before doing any work.
+/// `--list-methods` prints the public detector registry — one line per
+/// detector, deterministic order, with its option schema — and returns
+/// true, meaning the caller should exit(0) immediately.
+bool HandleStandardFlags(int argc, char** argv);
+
 /// Prints the standard preamble (what the binary reproduces, settings,
 /// determinism note).
 void PrintPreamble(const std::string& what, const BenchSettings& settings);

@@ -18,7 +18,8 @@
 #include "util/rng.h"
 #include "util/stopwatch.h"
 
-int main() {
+int main(int argc, char** argv) {
+  if (egi::bench::HandleStandardFlags(argc, argv)) return 0;
   using namespace egi;
   const auto settings = bench::SettingsFromEnv();
   bench::PrintPreamble("Figure 8: computation time vs series length",

@@ -16,7 +16,8 @@
 #include "util/rng.h"
 #include "util/stopwatch.h"
 
-int main() {
+int main(int argc, char** argv) {
+  if (egi::bench::HandleStandardFlags(argc, argv)) return 0;
   using namespace egi;
   const auto settings = bench::SettingsFromEnv();
   bench::PrintPreamble("Figure 9: fridge-freezer case study", settings);

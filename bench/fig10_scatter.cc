@@ -10,7 +10,8 @@
 #include "eval/metrics.h"
 #include "util/csv.h"
 
-int main() {
+int main(int argc, char** argv) {
+  if (egi::bench::HandleStandardFlags(argc, argv)) return 0;
   using namespace egi;
   const auto settings = bench::SettingsFromEnv();
   bench::PrintPreamble(

@@ -38,6 +38,7 @@ double Checksum(const std::vector<double>& v) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (egi::bench::HandleStandardFlags(argc, argv)) return 0;
   using namespace egi;
   const bool json = bench::JsonOutputEnabled(argc, argv);
   const bool quick = GetEnvBool("EGI_BENCH_QUICK", false);

@@ -43,6 +43,7 @@ std::vector<int32_t> PeriodicTokens(size_t n, int period) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (egi::bench::HandleStandardFlags(argc, argv)) return 0;
   using namespace egi;
   const bool json = bench::JsonOutputEnabled(argc, argv);
   const bool quick = GetEnvBool("EGI_BENCH_QUICK", false);

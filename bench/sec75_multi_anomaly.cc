@@ -12,7 +12,8 @@
 #include "ts/window.h"
 #include "util/rng.h"
 
-int main() {
+int main(int argc, char** argv) {
+  if (egi::bench::HandleStandardFlags(argc, argv)) return 0;
   using namespace egi;
   const auto settings = bench::SettingsFromEnv();
   bench::PrintPreamble("Section 7.5: detecting multiple anomalies", settings);

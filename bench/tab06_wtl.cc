@@ -7,7 +7,8 @@
 #include "bench_common.h"
 #include "eval/metrics.h"
 
-int main() {
+int main(int argc, char** argv) {
+  if (egi::bench::HandleStandardFlags(argc, argv)) return 0;
   using namespace egi;
   const auto settings = bench::SettingsFromEnv();
   bench::PrintPreamble(

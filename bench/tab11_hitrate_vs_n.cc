@@ -8,7 +8,8 @@
 #include "core/ensemble.h"
 #include "eval/metrics.h"
 
-int main() {
+int main(int argc, char** argv) {
+  if (egi::bench::HandleStandardFlags(argc, argv)) return 0;
   using namespace egi;
   const auto settings = bench::SettingsFromEnv();
   bench::PrintPreamble("Table 11: HitRate vs ensemble size N", settings);

@@ -16,7 +16,8 @@
 #include "ts/stats.h"
 #include "util/env.h"
 
-int main() {
+int main(int argc, char** argv) {
+  if (egi::bench::HandleStandardFlags(argc, argv)) return 0;
   using namespace egi;
   const auto settings = bench::SettingsFromEnv();
   const int reps = static_cast<int>(

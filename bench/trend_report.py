@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Cross-run bench trend report.
+
+Diffs the BENCH_*.json JSON-lines records of two runs (directories holding
+the artifacts CI archives on every push) and prints per-record deltas for
+every measured quantity, flagging changes beyond a noise threshold.
+
+Record model: every line is one JSON object. Keys matching
+  seconds, *_seconds, *_per_sec, *_points_per_sec, speedup
+are *measures*; every other key (bench name, workload, thread count, sizes,
+checksums, quick flag) is *identity* — two records are compared when their
+file name and identity keys agree exactly. Identity churn (a sweep point
+added, a blob size changed) is reported as added/removed, never silently
+dropped.
+
+Direction: *_per_sec and speedup are higher-is-better; seconds are
+lower-is-better. A "regression" is a worsening beyond --threshold.
+
+Usage:
+  trend_report.py OLD_DIR NEW_DIR [--threshold 0.25] [--strict]
+
+Exit status: 0 normally; 1 with --strict when any regression exceeds the
+threshold (CI runs without --strict: quick-mode records on shared runners
+are too noisy to gate merges, the report is for humans reading the log).
+"""
+
+import argparse
+import glob
+import json
+import os
+import re
+import sys
+
+MEASURE_RE = re.compile(r"(^seconds$|_seconds$|_per_sec$|^speedup$)")
+
+
+def is_measure(key, value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool) \
+        and MEASURE_RE.search(key) is not None
+
+
+def higher_is_better(key):
+    return key.endswith("_per_sec") or key == "speedup"
+
+
+def load_records(directory):
+    """{filename: {identity_key_json: {measure: value}}}"""
+    out = {}
+    for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
+        name = os.path.basename(path)
+        records = {}
+        with open(path, encoding="utf-8") as fh:
+            for line_no, line in enumerate(fh, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    obj = json.loads(line)
+                except json.JSONDecodeError as err:
+                    print(f"warning: {name}:{line_no}: unparseable ({err})",
+                          file=sys.stderr)
+                    continue
+                identity = {k: v for k, v in obj.items()
+                            if not is_measure(k, v)}
+                measures = {k: v for k, v in obj.items() if is_measure(k, v)}
+                key = json.dumps(identity, sort_keys=True)
+                if key in records:
+                    print(f"warning: {name}:{line_no}: duplicate record key "
+                          f"{key}", file=sys.stderr)
+                records[key] = measures
+        out[name] = records
+    return out
+
+
+def short_key(key_json):
+    identity = json.loads(key_json)
+    identity.pop("quick", None)
+    bench = identity.pop("bench", "?")
+    dims = ",".join(f"{k}={v}" for k, v in identity.items())
+    return f"{bench}[{dims}]" if dims else bench
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("old_dir", help="previous run's BENCH_*.json dir")
+    parser.add_argument("new_dir", help="this run's BENCH_*.json dir")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="relative change considered significant "
+                             "(default 0.25 = 25%%)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 when any regression exceeds threshold")
+    args = parser.parse_args()
+
+    old_files = load_records(args.old_dir)
+    new_files = load_records(args.new_dir)
+    if not old_files:
+        print(f"no BENCH_*.json in {args.old_dir}; nothing to diff against")
+        return 0
+    if not new_files:
+        print(f"no BENCH_*.json in {args.new_dir}; nothing to report")
+        return 0
+
+    regressions = improvements = steady = 0
+    added = removed = 0
+
+    for name in sorted(set(old_files) | set(new_files)):
+        old_records = old_files.get(name)
+        new_records = new_files.get(name)
+        print(f"== {name} ==")
+        if old_records is None:
+            print("  (new file — no previous run to diff against)")
+            added += len(new_records)
+            continue
+        if new_records is None:
+            print("  (file disappeared in this run)")
+            removed += len(old_records)
+            continue
+
+        for key in sorted(set(old_records) | set(new_records)):
+            label = short_key(key)
+            if key not in old_records:
+                print(f"  + {label} (new record)")
+                added += 1
+                continue
+            if key not in new_records:
+                print(f"  - {label} (record gone)")
+                removed += 1
+                continue
+            for measure in sorted(set(old_records[key]) |
+                                  set(new_records[key])):
+                old = old_records[key].get(measure)
+                new = new_records[key].get(measure)
+                if old is None or new is None or old == 0:
+                    continue
+                rel = (new - old) / abs(old)
+                better = rel > 0 if higher_is_better(measure) else rel < 0
+                significant = abs(rel) >= args.threshold
+                if significant and better:
+                    marker, verdict = "+", "improved"
+                    improvements += 1
+                elif significant:
+                    marker, verdict = "!", "REGRESSED"
+                    regressions += 1
+                else:
+                    steady += 1
+                    continue  # keep the log focused on signal
+                print(f"  {marker} {label} {measure}: {old:.6g} -> {new:.6g} "
+                      f"({rel:+.1%}, {verdict})")
+
+    print(f"\nsummary: {steady} steady, {improvements} improved, "
+          f"{regressions} regressed (threshold {args.threshold:.0%}), "
+          f"{added} added, {removed} removed")
+    if args.strict and regressions:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

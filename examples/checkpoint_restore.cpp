@@ -1,52 +1,56 @@
-// Checkpoint/restore: survive a crash (or migrate to another node) without
-// losing a fitted streaming detector. The detector's complete state —
-// buffered history, rolling statistics, per-member word-frequency models,
-// refit counters — serializes into one versioned, checksummed blob; a
-// detector restored from it continues *bitwise-identically* to an
-// uninterrupted run, down to the exact scores and refit boundaries.
+// Checkpoint/restore through the public façade: survive a crash (or migrate
+// to another node) without losing a fitted streaming detector. The stream's
+// complete state — buffered history, rolling statistics, per-member
+// word-frequency models, refit counters — serializes into one versioned,
+// checksummed blob; a stream restored from it continues *bitwise-identically*
+// to an uninterrupted run, down to the exact scores and refit boundaries.
 //
-// The demo runs the same feed three ways: (a) one uninterrupted detector,
-// (b) a detector that is snapshotted to a file mid-stream, "crashes", and is
-// restored from disk, and (c) a whole multi-stream StreamEngine checkpointed
-// with SaveAll/LoadAll — then verifies all continuations agree exactly.
+// The demo runs the same feed three ways: (a) one uninterrupted stream,
+// (b) a stream that is checkpointed to a file mid-feed, "crashes", and is
+// restored from disk, and (c) a whole multi-stream StreamHub checkpointed
+// as one blob — then verifies all continuations agree exactly.
 //
 // Build & run:  ./build/checkpoint_restore
 
+#include <egi/egi.h>
+
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iterator>
 #include <vector>
 
-#include "datasets/planted.h"
-#include "stream/engine.h"
-#include "util/rng.h"
-#include "util/stopwatch.h"
-
 int main() {
-  using namespace egi;
-
-  Rng rng(/*seed=*/7);
-  const auto data =
-      datasets::MakePlantedSeries(datasets::UcrDataset::kTwoLeadEcg, rng);
+  const auto data = egi::data::MakePlanted(egi::data::Family::kTwoLeadEcg,
+                                           /*seed=*/7);
   const std::vector<double>& feed = data.values;
   const size_t crash_at = feed.size() / 2;
 
-  stream::StreamDetectorOptions options;
-  options.ensemble.window_length = 82;
+  auto session = egi::Session::Open("ensemble");
+  if (!session.ok()) {
+    std::printf("open failed: %s\n", session.status().ToString().c_str());
+    return 1;
+  }
+  egi::StreamOptions options;
+  options.window_length = 82;
   options.buffer_capacity = 1024;
   options.refit_interval = 256;
 
   // (a) The uninterrupted reference run.
-  stream::StreamDetector uninterrupted(options);
-  for (size_t i = 0; i < crash_at; ++i) uninterrupted.Append(feed[i]);
+  auto uninterrupted = session->OpenStream(options);
+  if (!uninterrupted.ok()) return 1;
+  for (size_t i = 0; i < crash_at; ++i) uninterrupted->Append(feed[i]);
 
-  // (b) An identical detector, checkpointed to disk mid-stream.
-  stream::StreamDetector victim(options);
-  for (size_t i = 0; i < crash_at; ++i) victim.Append(feed[i]);
+  // (b) An identical stream, checkpointed to disk mid-feed.
+  auto victim = session->OpenStream(options);
+  if (!victim.ok()) return 1;
+  for (size_t i = 0; i < crash_at; ++i) victim->Append(feed[i]);
 
-  Stopwatch snap_sw;
-  const std::vector<uint8_t> blob = victim.Serialize();
-  const double snap_us = snap_sw.ElapsedSeconds() * 1e6;
+  const auto snap_t0 = std::chrono::steady_clock::now();
+  const std::vector<uint8_t> blob = victim->Checkpoint();
+  const double snap_us = std::chrono::duration<double, std::micro>(
+                             std::chrono::steady_clock::now() - snap_t0)
+                             .count();
   const char* path = "/tmp/egi_checkpoint.bin";
   {
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
@@ -54,12 +58,12 @@ int main() {
               static_cast<std::streamsize>(blob.size()));
   }
   std::printf(
-      "checkpointed detector at point %zu: %zu bytes (%.1f us to "
+      "checkpointed stream at point %zu: %zu bytes (%.1f us to "
       "serialize), %llu refits so far\n",
       crash_at, blob.size(), snap_us,
-      static_cast<unsigned long long>(victim.refit_count()));
+      static_cast<unsigned long long>(victim->refit_count()));
 
-  // ---- the process "crashes" here; the victim detector is gone ----
+  // ---- the process "crashes" here; the victim stream is gone ----
 
   std::vector<uint8_t> from_disk;
   {
@@ -67,9 +71,11 @@ int main() {
     from_disk.assign(std::istreambuf_iterator<char>(in),
                      std::istreambuf_iterator<char>());
   }
-  Stopwatch restore_sw;
-  auto restored = stream::StreamDetector::Deserialize(from_disk);
-  const double restore_us = restore_sw.ElapsedSeconds() * 1e6;
+  const auto restore_t0 = std::chrono::steady_clock::now();
+  auto restored = egi::StreamSession::Restore(from_disk);
+  const double restore_us = std::chrono::duration<double, std::micro>(
+                                std::chrono::steady_clock::now() - restore_t0)
+                                .count();
   if (!restored.ok()) {
     std::printf("restore failed: %s\n", restored.status().ToString().c_str());
     return 1;
@@ -79,8 +85,8 @@ int main() {
   // Continue both runs over the second half and compare every point.
   size_t mismatches = 0;
   for (size_t i = crash_at; i < feed.size(); ++i) {
-    const stream::ScoredPoint a = uninterrupted.Append(feed[i]);
-    const stream::ScoredPoint b = restored->Append(feed[i]);
+    const egi::StreamPoint a = uninterrupted->Append(feed[i]);
+    const egi::StreamPoint b = restored->Append(feed[i]);
     if (a.score != b.score && !(a.score != a.score && b.score != b.score)) {
       ++mismatches;  // bitwise disagreement (NaN-aware)
     }
@@ -90,38 +96,38 @@ int main() {
       "continued %zu points after the crash: %zu mismatches vs the "
       "uninterrupted run (refits %llu == %llu)\n",
       feed.size() - crash_at, mismatches,
-      static_cast<unsigned long long>(uninterrupted.refit_count()),
+      static_cast<unsigned long long>(uninterrupted->refit_count()),
       static_cast<unsigned long long>(restored->refit_count()));
 
   // A corrupted checkpoint is a clean error, never a crash.
   std::vector<uint8_t> corrupted = blob;
   corrupted[corrupted.size() / 2] ^= 0x10;
-  const auto rejected = stream::StreamDetector::Deserialize(corrupted);
+  const auto rejected = egi::StreamSession::Restore(corrupted);
   std::printf("tampered checkpoint rejected: %s\n",
               rejected.status().ToString().c_str());
 
-  // (c) Whole-engine failover: three tenant streams checkpointed as one
-  // blob through the thread pool, restored into a brand-new engine.
-  stream::StreamEngineOptions engine_options;
-  engine_options.detector = options;
-  stream::StreamEngine engine(engine_options);
-  for (int s = 0; s < 3; ++s) engine.AddStream();
-  std::vector<stream::StreamBatch> batches;
+  // (c) Whole-hub failover: three tenant streams checkpointed as one blob
+  // through the thread pool, restored into a brand-new hub.
+  auto hub = session->OpenHub(options);
+  if (!hub.ok()) return 1;
+  for (int s = 0; s < 3; ++s) hub->AddStream();
+  std::vector<egi::HubBatch> batches;
   for (size_t s = 0; s < 3; ++s) {
-    batches.push_back(stream::StreamBatch{
+    batches.push_back(egi::HubBatch{
         s, std::span<const double>(feed).first(crash_at)});
   }
-  engine.Ingest(batches);
+  hub->Ingest(batches);
 
-  const std::vector<uint8_t> checkpoint = engine.SaveAll();
-  stream::StreamEngine standby(engine_options);
-  const Status load = standby.LoadAll(checkpoint);
+  const std::vector<uint8_t> checkpoint = hub->Checkpoint();
+  auto standby = session->OpenHub(options);
+  if (!standby.ok()) return 1;
+  const egi::Status load = standby->Restore(checkpoint);
   std::printf(
-      "engine checkpoint: %zu streams, %zu bytes -> standby engine %s "
+      "hub checkpoint: %zu streams, %zu bytes -> standby hub %s "
       "(%zu streams)\n",
-      engine.num_streams(), checkpoint.size(),
+      hub->num_streams(), checkpoint.size(),
       load.ok() ? "restored" : load.ToString().c_str(),
-      standby.num_streams());
+      standby->num_streams());
 
   return mismatches == 0 && load.ok() ? 0 : 1;
 }

@@ -1,52 +1,57 @@
-// Runs all five methods from the paper's evaluation (Section 7.1.3) on the
-// same series and prints a side-by-side comparison: the proposed ensemble,
-// the three single-run grammar-induction baselines, and the STOMP-based
-// discord detector.
+// Runs all five registered detectors on the same series and prints a
+// side-by-side comparison: the proposed ensemble, the three single-run
+// grammar-induction baselines, and the STOMP-based discord detector —
+// every one constructed from its registry spec through the public façade.
 //
-// Build & run:  ./build/examples/compare_detectors
+// Build & run:  ./build/compare_detectors
+//               ./build/compare_detectors --list-methods
 
+#include <egi/egi.h>
+
+#include <chrono>
 #include <cstdio>
-#include <iostream>
+#include <cstring>
 
-#include "eval/methods.h"
-#include "eval/metrics.h"
-#include "datasets/planted.h"
-#include "util/rng.h"
-#include "util/stopwatch.h"
-#include "util/table.h"
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--list-methods") == 0) {
+      std::fputs(egi::FormatDetectorList().c_str(), stdout);
+      return 0;
+    }
+  }
 
-int main() {
-  using namespace egi;
-
-  Rng rng(11);
-  const auto dataset = datasets::UcrDataset::kWafer;
-  const auto data = datasets::MakePlantedSeries(dataset, rng);
-  const size_t window = datasets::GetDatasetSpec(dataset).instance_length;
+  const auto family = egi::data::Family::kWafer;
+  const auto data = egi::data::MakePlanted(family, /*seed=*/11);
+  const size_t window = egi::data::GetFamilyInfo(family).instance_length;
   std::printf("dataset: %s-like, %zu points, anomaly at [%zu, %zu)\n\n",
-              datasets::GetDatasetSpec(dataset).name.data(),
-              data.values.size(), data.anomaly.start, data.anomaly.end());
+              egi::data::GetFamilyInfo(family).name.data(), data.values.size(),
+              data.anomaly.start, data.anomaly.end());
 
-  TextTable table("Top-3 detection, one Wafer-like series");
-  table.SetHeader({"Method", "Top-1 pos", "Score (Eq. 5)", "Hit", "Time (ms)"});
-
-  for (const auto method : eval::kAllMethods) {
-    auto detector = eval::MakeMethod(method);
-    Stopwatch sw;
-    auto result = detector->Detect(data.values, window, 3);
-    const double ms = sw.ElapsedMillis();
+  std::printf("%-12s  %-9s  %-13s  %-4s  %s\n", "Method", "Top-1 pos",
+              "Score (Eq. 5)", "Hit", "Time (ms)");
+  for (const auto& info : egi::ListDetectors()) {
+    auto session = egi::Session::Open(info.name);
+    if (!session.ok()) {
+      std::printf("%s failed to open: %s\n", info.name.data(),
+                  session.status().ToString().c_str());
+      continue;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    auto result = session->Detect(data.values, window, 3);
+    const double ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
     if (!result.ok()) {
-      std::printf("%s failed: %s\n", eval::MethodName(method).data(),
+      std::printf("%s failed: %s\n", info.name.data(),
                   result.status().ToString().c_str());
       continue;
     }
-    const double score = eval::BestScore(*result, data.anomaly);
-    table.AddRow({std::string(eval::MethodName(method)),
-                  std::to_string((*result)[0].position),
-                  FormatDouble(score, 4),
-                  eval::IsHit(*result, data.anomaly) ? "yes" : "no",
-                  FormatDouble(ms, 1)});
+    const double score = egi::BestScore(*result, data.anomaly);
+    std::printf("%-12s  %-9zu  %-13.4f  %-4s  %.1f\n", info.name.data(),
+                (*result)[0].position, score,
+                egi::IsHit(*result, data.anomaly) ? "yes" : "no", ms);
   }
-  table.Print(std::cout);
 
   std::printf(
       "\nNote: one series is an anecdote — bench/tab04_score reruns the\n"

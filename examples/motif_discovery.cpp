@@ -3,29 +3,25 @@
 // periodic ECG stream — the repeating heartbeat should dominate — and shows
 // that the same linear-time pipeline serves both motif and anomaly mining.
 //
-// Build & run:  ./build/examples/motif_discovery
+// Build & run:  ./build/motif_discovery
 
+#include <egi/egi.h>
+
+#include <algorithm>
 #include <cstdio>
 
-#include "core/motif.h"
-#include "datasets/physio.h"
-#include "util/rng.h"
-
 int main() {
-  using namespace egi;
-
-  Rng rng(31);
-  const auto series = datasets::MakeLongEcg(8000, rng);
+  const auto series = egi::data::MakeLongEcg(8000, /*seed=*/31);
   std::printf("ECG stream: %zu samples, beats every ~250 samples\n\n",
               series.size());
 
-  core::MotifParams params;
-  params.gi.window_length = 250;  // about one heartbeat
-  params.gi.paa_size = 5;
-  params.gi.alphabet_size = 5;
-  params.top_k = 3;
+  egi::MotifOptions options;
+  options.window_length = 250;  // about one heartbeat
+  options.paa_size = 5;
+  options.alphabet_size = 5;
+  options.top_k = 3;
 
-  auto motifs = core::DiscoverMotifs(series, params);
+  auto motifs = egi::DiscoverMotifs(series, options);
   if (!motifs.ok()) {
     std::printf("motif discovery failed: %s\n",
                 motifs.status().ToString().c_str());

@@ -3,21 +3,15 @@
 // top-3 candidates should cover both. This is the scenario where
 // fixed-length discord methods struggle (two anomalies, unknown count).
 //
-// Build & run:  ./build/examples/multiple_anomalies
+// Build & run:  ./build/multiple_anomalies
+
+#include <egi/egi.h>
 
 #include <cstdio>
 
-#include "core/detector.h"
-#include "datasets/planted.h"
-#include "ts/window.h"
-#include "util/rng.h"
-
 int main() {
-  using namespace egi;
-
-  Rng rng(21);
-  const auto stream = datasets::MakeMultiPlantedSeries(
-      datasets::UcrDataset::kStarLightCurve, rng, /*total_instances=*/42,
+  const auto stream = egi::data::MakeMultiPlanted(
+      egi::data::Family::kStarLightCurve, /*seed=*/21, /*total_instances=*/42,
       /*num_anomalies=*/2);
   std::printf("stream: %zu points, %zu planted anomalies\n",
               stream.values.size(), stream.anomalies.size());
@@ -25,10 +19,12 @@ int main() {
     std::printf("  ground truth at [%zu, %zu)\n", a.start, a.end());
   }
 
-  core::EnsembleParams params;
-  params.seed = 5;
-  core::EnsembleGiDetector detector(params);
-  auto result = detector.Detect(stream.values, /*window_length=*/1024, 3);
+  auto session = egi::Session::Open("ensemble:seed=5");
+  if (!session.ok()) {
+    std::printf("open failed: %s\n", session.status().ToString().c_str());
+    return 1;
+  }
+  auto result = session->Detect(stream.values, /*window_length=*/1024, 3);
   if (!result.ok()) {
     std::printf("detection failed: %s\n", result.status().ToString().c_str());
     return 1;
@@ -38,7 +34,7 @@ int main() {
   for (const auto& gt : stream.anomalies) {
     bool found = false;
     for (const auto& c : *result) {
-      if (ts::Overlaps(c.window(), gt)) found = true;
+      if (egi::Overlaps(c.window(), gt)) found = true;
     }
     std::printf("anomaly at %zu: %s\n", gt.start,
                 found ? "detected" : "missed");

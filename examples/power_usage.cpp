@@ -4,25 +4,28 @@
 //   1. a cycle with an unusually long, sagging compressor run,
 //   2. a burst of high-power spikes between otherwise normal cycles.
 //
-// Build & run:  ./build/examples/power_usage
+// Build & run:  ./build/power_usage
 // Env:          EGI_POWER_LENGTH (default 200000 samples)
 
-#include <cstdio>
+#include <egi/egi.h>
 
-#include "core/detector.h"
-#include "datasets/power.h"
-#include "ts/window.h"
-#include "util/env.h"
-#include "util/rng.h"
-#include "util/stopwatch.h"
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
 
 int main() {
-  using namespace egi;
-
-  const auto length =
-      static_cast<size_t>(GetEnvInt("EGI_POWER_LENGTH", 200000));
-  Rng rng(12);
-  const auto stream = datasets::MakeFridgeFreezerSeries(length, rng);
+  size_t length = 200000;
+  if (const char* env = std::getenv("EGI_POWER_LENGTH")) {
+    // Fall back to the default on overflow or trailing garbage.
+    errno = 0;
+    char* end = nullptr;
+    const long long v = std::strtoll(env, &end, 10);
+    if (errno == 0 && end != env && *end == '\0' && v > 0) {
+      length = static_cast<size_t>(v);
+    }
+  }
+  const auto stream = egi::data::MakeFridgeFreezer(length, /*seed=*/12);
   std::printf("fridge-freezer stream: %zu samples (~%.0f days at 8s/sample)\n",
               stream.values.size(),
               static_cast<double>(stream.values.size()) * 8.0 / 86400.0);
@@ -31,28 +34,32 @@ int main() {
                 stream.anomalies[i].start, stream.anomalies[i].end());
   }
 
+  auto session = egi::Session::Open("ensemble:seed=42");
+  if (!session.ok()) {
+    std::printf("open failed: %s\n", session.status().ToString().c_str());
+    return 1;
+  }
+
   // One duty cycle is ~900 samples; that is the anomaly scale of interest
   // (the paper uses the same sliding window length for this data).
-  core::EnsembleParams params;
-  params.seed = 42;
-  core::EnsembleGiDetector detector(params);
-
-  Stopwatch sw;
+  const auto t0 = std::chrono::steady_clock::now();
   auto result =
-      detector.Detect(stream.values, datasets::kFridgeCycleLength, 3);
+      session->Detect(stream.values, egi::data::kFridgeCycleLength, 3);
   if (!result.ok()) {
     std::printf("detection failed: %s\n", result.status().ToString().c_str());
     return 1;
   }
   std::printf("\ndetection took %.2f s (linear-time pipeline)\n",
-              sw.ElapsedSeconds());
+              std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            t0)
+                  .count());
 
   std::printf("\ntop-3 anomaly candidates (the paper's protocol):\n");
   int rank = 1;
   for (const auto& candidate : *result) {
     const char* label = "unmatched";
     for (size_t i = 0; i < stream.anomalies.size(); ++i) {
-      if (ts::Overlaps(candidate.window(), stream.anomalies[i])) {
+      if (egi::Overlaps(candidate.window(), stream.anomalies[i])) {
         label = i == 0 ? "the unusual sagging cycle (event 1)"
                        : "the spikes burst (event 2)";
       }

@@ -1,35 +1,35 @@
 // Quickstart: detect an anomalous heartbeat in a synthetic ECG stream with
-// ensemble grammar induction (the paper's Algorithm 1).
+// ensemble grammar induction (the paper's Algorithm 1), entirely through
+// the installed public API — one include, one Session.
 //
-// Build & run:  ./build/examples/quickstart
+// Build & run:  ./build/quickstart
+
+#include <egi/egi.h>
 
 #include <cstdio>
 
-#include "core/detector.h"
-#include "datasets/planted.h"
-#include "eval/metrics.h"
-#include "util/rng.h"
-
 int main() {
-  using namespace egi;
-
   // 1. Get a time series. Here: 20 normal ECG beats with one anomalous beat
   //    (a different lead morphology) spliced in somewhere in the middle.
-  Rng rng(/*seed=*/7);
-  const auto data =
-      datasets::MakePlantedSeries(datasets::UcrDataset::kTwoLeadEcg, rng);
+  const auto data = egi::data::MakePlanted(egi::data::Family::kTwoLeadEcg,
+                                           /*seed=*/7);
   std::printf("series of %zu points; the planted anomaly lives at [%zu, %zu)\n",
               data.values.size(), data.anomaly.start, data.anomaly.end());
 
-  // 2. Configure the detector. The defaults are the paper's settings:
-  //    wmax = amax = 10, ensemble size N = 50, selectivity tau = 40%.
-  core::EnsembleParams params;
-  params.seed = 42;
-  core::EnsembleGiDetector detector(params);
+  // 2. Open a detector session from a registry spec. "ensemble" alone uses
+  //    the paper's settings (wmax=amax=10, N=50, tau=40%); any knob can be
+  //    overridden inline, e.g. "ensemble:n=100,tau=0.25".
+  auto session = egi::Session::Open("ensemble:seed=42");
+  if (!session.ok()) {
+    std::printf("open failed: %s\n", session.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("method: %s\nresolved spec: %s\n", session->info().summary.data(),
+              session->spec().c_str());
 
   // 3. Detect. The window length is the scale of anomaly you care about —
   //    here one heartbeat (82 samples). Top-3 candidates, non-overlapping.
-  auto result = detector.Detect(data.values, /*window_length=*/82,
+  auto result = session->Detect(data.values, /*window_length=*/82,
                                 /*max_candidates=*/3);
   if (!result.ok()) {
     std::printf("detection failed: %s\n", result.status().ToString().c_str());
@@ -40,13 +40,13 @@ int main() {
   std::printf("\nrank  position  severity  hit?\n");
   int rank = 1;
   for (const auto& candidate : *result) {
-    const double score = eval::ScoreEq5(candidate.position, data.anomaly.start,
-                                        data.anomaly.length);
+    const double score = egi::ScoreEq5(candidate.position, data.anomaly.start,
+                                       data.anomaly.length);
     std::printf("%4d  %8zu  %8.4f  %s\n", rank++, candidate.position,
                 candidate.severity, score > 0 ? "yes" : "no");
   }
 
-  const double best = eval::BestScore(*result, data.anomaly);
+  const double best = egi::BestScore(*result, data.anomaly);
   std::printf("\nbest Score vs ground truth (paper Eq. 5): %.4f\n", best);
   std::printf(best > 0 ? "the anomalous beat was found.\n"
                        : "missed - try a different seed.\n");

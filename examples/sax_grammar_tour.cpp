@@ -1,24 +1,19 @@
-// A tour of the lower-level building blocks, reproducing the paper's own
-// worked examples:
+// A tour of the lower-level building blocks (egi/primitives.h), reproducing
+// the paper's own worked examples:
 //   * SAX discretization (Section 4.1, Figure 3 style),
 //   * numerosity reduction (Section 4.2, Eq. 2 -> Eq. 3),
 //   * Sequitur grammar induction (Section 5.1, Table 2),
 //   * the rule density curve (Section 5.2).
 //
-// Build & run:  ./build/examples/sax_grammar_tour
+// Build & run:  ./build/sax_grammar_tour
+
+#include <egi/egi.h>
 
 #include <cmath>
 #include <cstdio>
 #include <vector>
 
-#include "grammar/density.h"
-#include "grammar/sequitur.h"
-#include "sax/numerosity.h"
-#include "sax/sax_encoder.h"
-
 int main() {
-  using namespace egi;
-
   // --- SAX on a single subsequence -------------------------------------
   std::printf("== SAX (Section 4.1) ==\n");
   std::vector<double> subsequence;
@@ -26,8 +21,7 @@ int main() {
     subsequence.push_back(
         std::sin(2.0 * M_PI * static_cast<double>(i) / 32.0));
   }
-  auto word = sax::SaxWordForSubsequence(subsequence, /*paa_size=*/4,
-                                         /*alphabet_size=*/3);
+  auto word = egi::SaxWord(subsequence, /*paa_size=*/4, /*alphabet_size=*/3);
   std::printf("one sine period, w=4, a=3  ->  \"%s\"\n\n",
               word.value().c_str());
 
@@ -35,7 +29,7 @@ int main() {
   std::printf("== Numerosity reduction (Section 4.2) ==\n");
   // S = ba,ba,ba,dc,dc,aa,ac,ac with ids ba=0, dc=1, aa=2, ac=3.
   const std::vector<int32_t> raw{0, 0, 0, 1, 1, 2, 3, 3};
-  const auto reduced = sax::NumerosityReduce(raw);
+  const auto reduced = egi::ReduceNumerosity(raw);
   std::printf("S   = ba,ba,ba,dc,dc,aa,ac,ac\nSNR = ");
   const char* names[] = {"ba", "dc", "aa", "ac"};
   for (size_t i = 0; i < reduced.size(); ++i) {
@@ -47,25 +41,20 @@ int main() {
   std::printf("== Sequitur (Section 5.1, Table 2) ==\n");
   // SNR = ab, bc, aa, cc, ca, ab, bc, aa (ids 0..4).
   const std::vector<int32_t> tokens{0, 1, 2, 3, 4, 0, 1, 2};
-  const auto grammar = grammar::InduceGrammar(tokens);
   const char* words[] = {"ab", "bc", "aa", "cc", "ca"};
-  std::printf("%s", grammar
-                        .ToString([&](int32_t t) {
-                          return std::string(
-                              words[static_cast<size_t>(t)]);
-                        })
-                        .c_str());
+  std::printf("%s", egi::InducedGrammarText(tokens, [&](int32_t t) {
+                      return std::string(words[static_cast<size_t>(t)]);
+                    }).c_str());
 
   // --- Rule density curve (Section 5.2) --------------------------------
   std::printf("\n== Rule density curve (Section 5.2) ==\n");
   // The toy sequence of Section 3.2: aa,bb,cc,xx,aa,bb,cc -> xx has zero
   // rule coverage and is the anomaly candidate.
   const std::vector<int32_t> toy{0, 1, 2, 3, 0, 1, 2};
-  const auto toy_grammar = grammar::InduceGrammar(toy);
   std::vector<size_t> offsets(toy.size());
   for (size_t i = 0; i < offsets.size(); ++i) offsets[i] = i;
-  const auto density = grammar::BuildRuleDensityCurve(
-      toy_grammar, offsets, toy.size(), /*window_length=*/1);
+  const auto density =
+      egi::RuleDensityCurve(toy, offsets, toy.size(), /*window_length=*/1);
   std::printf("S       = aa bb cc xx aa bb cc\ndensity = ");
   for (double d : density) std::printf(" %.0f ", d);
   std::printf("\n           (the zero marks the incompressible token xx)\n");

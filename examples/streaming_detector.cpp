@@ -1,40 +1,45 @@
-// Streaming detection: score an endless feed online instead of batch-running
-// Algorithm 1 over a complete series. The detector keeps a ring-buffered
-// window of recent history, scores every arriving point immediately against
-// the last fitted ensemble (rare SAX word -> low density -> anomalous), and
-// re-fits the full batch ensemble every `refit_interval` points — at which
-// moment its scores are bitwise-identical to ComputeEnsembleDensity on the
-// buffered window.
+// Streaming detection through the public façade: score an endless feed
+// online instead of batch-running Algorithm 1 over a complete series. The
+// stream keeps a ring-buffered window of recent history, scores every
+// arriving point immediately against the last fitted ensemble (rare SAX
+// word -> low density -> anomalous), and re-fits the full batch ensemble
+// every `refit_interval` points — at which moment its scores are
+// bitwise-identical to the batch Session::Score on the buffered window.
 //
 // Build & run:  ./build/streaming_detector
 
+#include <egi/egi.h>
+
 #include <cstdio>
 
-#include "datasets/planted.h"
-#include "stream/detector.h"
-#include "util/rng.h"
-
 int main() {
-  using namespace egi;
-
   // A synthetic ECG feed with one anomalous beat somewhere in the middle —
   // but unlike the quickstart, the detector never sees the whole series.
-  Rng rng(/*seed=*/7);
-  const auto data =
-      datasets::MakePlantedSeries(datasets::UcrDataset::kTwoLeadEcg, rng);
+  const auto data = egi::data::MakePlanted(egi::data::Family::kTwoLeadEcg,
+                                           /*seed=*/7);
   std::printf(
       "simulating a stream of %zu points; the planted anomaly lives at "
       "[%zu, %zu)\n",
       data.values.size(), data.anomaly.start, data.anomaly.end());
 
-  // Configure the online detector: one heartbeat (82 samples) as the
-  // sliding window, a 1024-point buffered history, a full ensemble refit
-  // every 256 points. Everything else is the paper's Algorithm 1 setup.
-  stream::StreamDetectorOptions options;
-  options.ensemble.window_length = 82;
+  // Open the online stream from a batch session: one heartbeat (82 samples)
+  // as the sliding window, a 1024-point buffered history, a full ensemble
+  // refit every 256 points. Everything else is the paper's Algorithm 1
+  // setup, inherited from the session's spec.
+  auto session = egi::Session::Open("ensemble");
+  if (!session.ok()) {
+    std::printf("open failed: %s\n", session.status().ToString().c_str());
+    return 1;
+  }
+  egi::StreamOptions options;
+  options.window_length = 82;
   options.buffer_capacity = 1024;
   options.refit_interval = 256;
-  stream::StreamDetector detector(options);
+  auto stream = session->OpenStream(options);
+  if (!stream.ok()) {
+    std::printf("stream failed: %s\n", stream.status().ToString().c_str());
+    return 1;
+  }
 
   // Feed the stream point by point and alert on low-density scores. The
   // threshold is relative: we alert when a scored point falls below 10% of
@@ -44,7 +49,7 @@ int main() {
   uint64_t first_hit = 0;
   bool hit_anomaly = false;
   for (const double v : data.values) {
-    const stream::ScoredPoint pt = detector.Append(v);
+    const egi::StreamPoint pt = stream->Append(v);
     if (pt.refit) ++refits;
     // Alert on the incremental scores only: the newest point of a batch
     // curve sits at the window-coverage edge where rule density is
@@ -67,8 +72,8 @@ int main() {
   std::printf(
       "\n%zu full refits, %zu alerts below %.0f%% density; rolling window "
       "mean %.3f / std %.3f at end of stream\n",
-      refits, alerts, alert_threshold * 100.0, detector.window().WindowMean(),
-      detector.window().WindowStdDev());
+      refits, alerts, alert_threshold * 100.0, stream->RollingMean(),
+      stream->RollingStdDev());
   if (hit_anomaly) {
     std::printf(
         "the planted anomaly was flagged online at point %llu — %llu points "

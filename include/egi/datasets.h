@@ -1,0 +1,80 @@
+#pragma once
+
+// Part of the installed public API (see DESIGN.md, "Public API"). Seeded
+// synthetic benchmark data: stand-ins for the paper's UCR dataset families
+// plus the Section 7.3/7.4 generators. Generation is fully determined by
+// the seed, so examples and out-of-tree consumers reproduce the library's
+// own evaluation data exactly.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "egi/types.h"
+
+namespace egi::data {
+
+/// The six dataset families of the paper's evaluation (Table 3), each a
+/// seeded synthetic generator with the paper's instance length.
+enum class Family {
+  kTwoLeadEcg,      // 82,   ECG beat; anomaly: inverted QRS morphology
+  kEcgFiveDays,     // 132,  ECG beat; anomaly: wide QRS + ST depression
+  kGunPoint,        // 150,  motion; anomaly: no holster overshoot/dip
+  kWafer,           // 150,  process trace; anomaly: missing spike, level shift
+  kTrace,           // 275,  transient; anomaly: pre-step damped oscillation
+  kStarLightCurve,  // 1024, periodic light curve; anomaly: eclipsing dips
+};
+
+inline constexpr std::array<Family, 6> kAllFamilies = {
+    Family::kTwoLeadEcg, Family::kEcgFiveDays, Family::kGunPoint,
+    Family::kWafer,      Family::kTrace,       Family::kStarLightCurve,
+};
+
+/// Static properties of a family (mirrors the paper's Table 3).
+struct FamilyInfo {
+  std::string_view name;
+  size_t instance_length;
+  std::string_view data_type;
+};
+
+const FamilyInfo& GetFamilyInfo(Family family);
+
+/// A benchmark series with one known planted anomaly (the ground truth of
+/// the paper's Section 7.1.1 protocol).
+struct PlantedSeries {
+  std::vector<double> values;
+  Range anomaly;
+};
+
+/// A generated series with several labeled unusual regions.
+struct LabeledSeries {
+  std::vector<double> values;
+  std::vector<Range> anomalies;
+};
+
+/// Builds one evaluation series following the paper's protocol: concatenate
+/// `num_normal` randomly drawn normal instances, then splice one anomalous
+/// instance in at an instance boundary in the 40%..80% region.
+PlantedSeries MakePlanted(Family family, uint64_t seed, int num_normal = 20);
+
+/// Builds a multi-anomaly series (Section 7.5): `total_instances` slots of
+/// which `num_anomalies` are anomalous, at random non-adjacent slots.
+LabeledSeries MakeMultiPlanted(Family family, uint64_t seed,
+                               int total_instances, int num_anomalies);
+
+/// REFIT-style fridge-freezer power-usage stream (Section 7.4): ~900-sample
+/// compressor duty cycles; when `plant_anomalies` is set, one sagging cycle
+/// and one burst of spikes are planted in the middle third.
+LabeledSeries MakeFridgeFreezer(size_t length, uint64_t seed,
+                                bool plant_anomalies = true);
+
+/// Nominal fridge-freezer duty-cycle length (a natural window length).
+inline constexpr size_t kFridgeCycleLength = 900;
+
+/// Long quasi-periodic ECG stream (Section 7.3): PQRST beats every ~250
+/// samples with rate and amplitude jitter.
+std::vector<double> MakeLongEcg(size_t length, uint64_t seed);
+
+}  // namespace egi::data

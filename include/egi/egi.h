@@ -1,0 +1,26 @@
+#pragma once
+
+// The installed public API of egi — ensemble grammar induction for time
+// series anomaly detection (EDBT 2020 reproduction grown into a streaming
+// detection library). One include gives the whole front door:
+//
+//   #include <egi/egi.h>
+//
+//   auto session = egi::Session::Open("ensemble:n=50,tau=0.4");
+//   auto found = session->Detect(series, /*window_length=*/82, 3);
+//
+// See DESIGN.md "Public API" for the layer contract, egi/registry.h for
+// the available detectors, and examples/ for complete programs (every
+// example compiles against these headers only).
+
+#include "egi/datasets.h"
+#include "egi/metrics.h"
+#include "egi/motif.h"
+#include "egi/primitives.h"
+#include "egi/registry.h"
+#include "egi/result.h"
+#include "egi/session.h"
+#include "egi/spec.h"
+#include "egi/status.h"
+#include "egi/types.h"
+#include "egi/version.h"

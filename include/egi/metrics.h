@@ -1,0 +1,27 @@
+#pragma once
+
+// Part of the installed public API (see DESIGN.md, "Public API"). The
+// paper's evaluation metrics over Session::Detect results.
+
+#include <cstddef>
+#include <span>
+
+#include "egi/types.h"
+
+namespace egi {
+
+/// The paper's Score (Eq. 5):
+///   Score = 1 - min(1, |predict - gt_position| / gt_length).
+/// 1 at an exact match, decaying linearly to 0 at one ground-truth length of
+/// displacement.
+double ScoreEq5(size_t predict_position, size_t gt_position, size_t gt_length);
+
+/// Best Score among candidates (the paper keeps the max over the top-3).
+/// Returns 0 when `candidates` is empty.
+double BestScore(std::span<const Detection> candidates,
+                 const Range& ground_truth);
+
+/// A "hit" is Score > 0 for at least one candidate.
+bool IsHit(std::span<const Detection> candidates, const Range& ground_truth);
+
+}  // namespace egi

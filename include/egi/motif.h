@@ -1,0 +1,50 @@
+#pragma once
+
+// Part of the installed public API (see DESIGN.md, "Public API"). The dual
+// use of the induced grammar (paper Section 3.1): compressible regions are
+// repeated patterns — motifs.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "egi/result.h"
+#include "egi/types.h"
+
+namespace egi {
+
+/// A variable-length motif: a grammar rule whose expansion repeats across
+/// the series.
+struct Motif {
+  /// Index of the backing rule in the induced grammar (0-based: R1 is 0).
+  size_t rule_index = 0;
+  /// The rule's expansion length in tokens.
+  size_t token_span = 0;
+  /// All instances mapped back to the time domain, in series order.
+  std::vector<Range> instances;
+  /// Fraction of the series covered by at least one instance.
+  double coverage = 0.0;
+  /// The motif's SAX word sequence (rendered rule expansion), for display.
+  std::string words;
+};
+
+/// Options for grammar-based motif discovery.
+struct MotifOptions {
+  size_t window_length = 0;  ///< sliding window length n (required)
+  int paa_size = 4;          ///< w
+  int alphabet_size = 4;     ///< a
+  size_t top_k = 5;          ///< how many motifs to return
+  size_t min_instances = 2;  ///< require at least this many occurrences
+  /// Skip rules whose mean instance length (in samples) is below this
+  /// multiple of the window length (short rules are usually noise).
+  double min_length_factor = 1.0;
+};
+
+/// Discovers the top-k motifs of a series: induces a grammar, maps every
+/// rule's occurrences back to time windows, and ranks rules by instance
+/// count (ties: larger coverage first). Linear time, like the anomaly path.
+Result<std::vector<Motif>> DiscoverMotifs(std::span<const double> series,
+                                          const MotifOptions& options);
+
+}  // namespace egi

@@ -1,0 +1,48 @@
+#pragma once
+
+// Part of the installed public API (see DESIGN.md, "Public API"). The
+// detector registry: every detector the library can build, each with a
+// typed option schema. `Session::Open` resolves spec strings against this
+// registry, so listing it tells a caller exactly what specs are valid.
+
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace egi {
+
+/// Value type of one spec-string option.
+enum class OptionType { kInt, kUint64, kDouble };
+
+std::string_view OptionTypeName(OptionType type);  // "int", "uint64", "double"
+
+/// One `key=value` option a detector accepts, with its default rendered as
+/// a spec-string value ("10", "0.4", "env" for environment-derived).
+struct OptionSpec {
+  std::string_view key;
+  OptionType type = OptionType::kInt;
+  std::string_view default_value;
+  std::string_view help;
+};
+
+/// One registered detector: its spec-string name, a one-line summary, and
+/// the schema of options it accepts.
+struct DetectorInfo {
+  std::string_view name;     ///< spec-string method name, e.g. "ensemble"
+  std::string_view summary;  ///< one line for --list-methods
+  std::span<const OptionSpec> options;
+  bool supports_streaming = false;  ///< Session::OpenStream/OpenHub work
+  bool supports_score = false;      ///< Session::Score yields a curve
+};
+
+/// All registered detectors in deterministic (registration) order.
+std::span<const DetectorInfo> ListDetectors();
+
+/// Registry lookup by spec-string name; nullptr when unknown.
+const DetectorInfo* FindDetector(std::string_view name);
+
+/// One line per detector — `name: summary (key=default[type], ...)` — in
+/// ListDetectors() order; the canonical `--list-methods` output.
+std::string FormatDetectorList();
+
+}  // namespace egi

@@ -1,0 +1,72 @@
+#pragma once
+
+// Part of the installed public API (see DESIGN.md, "Public API").
+
+#include <utility>
+#include <variant>
+
+#include "egi/status.h"
+
+namespace egi {
+
+namespace internal {
+/// Aborts with a diagnostic; the out-of-line bodies live in util/status.cc
+/// so this header stays free of <iostream> and the EGI_CHECK machinery.
+[[noreturn]] void ResultAccessFailure(const Status& status);
+[[noreturn]] void ResultFromOkFailure();
+}  // namespace internal
+
+/// Holds either a value of type `T` or a non-OK `Status`, in the style of
+/// arrow::Result. Accessing the value of an errored Result aborts (program
+/// bug); callers must test `ok()` first or use EGI_ASSIGN_OR_RETURN.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(repr_).ok()) internal::ResultFromOkFailure();
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    return ok() ? kOk : std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    if (!ok()) internal::ResultAccessFailure(status());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    if (!ok()) internal::ResultAccessFailure(status());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    if (!ok()) internal::ResultAccessFailure(status());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace egi
+
+#define EGI_RESULT_CONCAT_INNER(a, b) a##b
+#define EGI_RESULT_CONCAT(a, b) EGI_RESULT_CONCAT_INNER(a, b)
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the status, otherwise
+/// assigns the value to `lhs`.
+#define EGI_ASSIGN_OR_RETURN(lhs, rexpr)                            \
+  auto EGI_RESULT_CONCAT(_egi_result_, __LINE__) = (rexpr);         \
+  if (!EGI_RESULT_CONCAT(_egi_result_, __LINE__).ok())              \
+    return EGI_RESULT_CONCAT(_egi_result_, __LINE__).status();      \
+  lhs = std::move(EGI_RESULT_CONCAT(_egi_result_, __LINE__)).value()

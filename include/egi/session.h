@@ -1,0 +1,217 @@
+#pragma once
+
+// Part of the installed public API (see DESIGN.md, "Public API"). The one
+// front door to the library: a Session is a configured detector built from
+// a registry spec string, covering batch detection, point-wise scoring,
+// streaming sessions, and checkpoint/restore — callers never touch src/
+// internals.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "egi/registry.h"
+#include "egi/result.h"
+#include "egi/spec.h"
+#include "egi/types.h"
+
+namespace egi {
+
+/// Configuration of a streaming session opened from a batch Session. The
+/// Algorithm 1 knobs (wmax, amax, n, tau, seed, threads) come from the
+/// owning Session's spec; these are the stream-shape knobs.
+struct StreamOptions {
+  /// Sliding-window length n (the anomaly scale of interest). Required.
+  size_t window_length = 0;
+  /// Points of history kept (and re-scored per refit). Must be
+  /// >= window_length.
+  size_t buffer_capacity = 4096;
+  /// A full batch refit runs once per this many appends (amortization knob:
+  /// larger = faster ingest, staler provisional model). Must be >= 1.
+  size_t refit_interval = 512;
+};
+
+/// One scored stream point, as returned by StreamSession::Append and
+/// delivered to StreamHub callbacks.
+struct StreamPoint {
+  uint64_t index = 0;   ///< 0-based position in the stream since creation
+  double value = 0.0;   ///< the ingested value
+  double score = 0.0;   ///< ensemble rule density in [0, 1]; LOW = anomalous
+  bool scored = false;  ///< false until the first refit has fitted a model,
+                        ///< and for rejected (non-finite) values
+  bool provisional = false;  ///< true when produced by the incremental path
+                             ///< (superseded by the next refit)
+  bool refit = false;        ///< this append completed a full batch refit
+};
+
+/// A single online detection stream (the façade over the streaming engine's
+/// single-stream detector). Obtained from Session::OpenStream or restored
+/// from a Checkpoint() blob; move-only and not thread-safe — shard many
+/// streams with a StreamHub.
+class StreamSession {
+ public:
+  StreamSession(StreamSession&&) noexcept;
+  StreamSession& operator=(StreamSession&&) noexcept;
+  ~StreamSession();
+
+  /// Ingests one point and returns its score. Non-finite values are
+  /// rejected: not buffered, returned with scored == false.
+  StreamPoint Append(double value);
+
+  /// Batch ingest: appends every value in order, one StreamPoint per value.
+  std::vector<StreamPoint> Ingest(std::span<const double> values);
+
+  /// Runs a batch refit now (also happens automatically every
+  /// refit_interval appends). Fails — leaving the previous model in place —
+  /// when fewer than window_length points are buffered.
+  Status ForceRefit();
+
+  size_t window_length() const;
+  uint64_t total_appended() const;
+  size_t buffered() const;        ///< points currently held in the ring
+  uint64_t refit_count() const;
+  bool fitted() const;            ///< at least one refit has completed
+
+  /// Rolling mean / standard deviation of the trailing sliding window.
+  double RollingMean() const;
+  double RollingStdDev() const;
+
+  /// Linearized copy of the buffered points, oldest first.
+  std::vector<double> BufferSnapshot() const;
+  /// Scores aligned 1:1 with BufferSnapshot(); NaN for never-scored points.
+  std::vector<double> ScoresSnapshot() const;
+
+  /// Serializes the complete stream state into a versioned, checksummed
+  /// blob. A StreamSession restored from it continues bitwise-identically
+  /// to the uninterrupted original (see DESIGN.md, "Snapshot format").
+  std::vector<uint8_t> Checkpoint() const;
+
+  /// Restores a stream from a Checkpoint() blob. Every malformed input —
+  /// truncation, bit flips, version or kind mismatches — yields a Status
+  /// error, never a crash. The spec lives inside the blob, so no Session is
+  /// needed.
+  static Result<StreamSession> Restore(std::span<const uint8_t> blob);
+
+ private:
+  friend class Session;
+  struct Impl;
+  explicit StreamSession(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+/// One ingest unit for StreamHub::Ingest: a run of consecutive points for
+/// one stream. Stream ids within a single Ingest call must be distinct.
+struct HubBatch {
+  size_t stream = 0;
+  std::span<const double> values;
+};
+
+/// Multi-tenant streaming façade (wraps the sharded streaming engine): owns
+/// many independent streams and shards per-stream ingest batches across the
+/// shared thread pool. Per-stream results are bitwise-identical for every
+/// thread count. Checkpoint()/Restore() capture and restore every stream as
+/// one all-or-nothing blob.
+class StreamHub {
+ public:
+  /// Per-point delivery hook; invoked on the worker thread that advanced
+  /// the stream, in append order. Callbacks for different streams may run
+  /// concurrently.
+  using Callback = std::function<void(size_t stream, const StreamPoint&)>;
+
+  StreamHub(StreamHub&&) noexcept;
+  StreamHub& operator=(StreamHub&&) noexcept;
+  ~StreamHub();
+
+  /// Registers a new stream; ids are dense and start at 0.
+  size_t AddStream();
+
+  /// Installs (or clears, with nullptr) the per-point callback of a stream.
+  void SetCallback(size_t stream, Callback callback);
+
+  /// Appends each batch to its stream, sharded across the thread pool.
+  void Ingest(std::span<const HubBatch> batches);
+
+  /// Single-stream convenience: appends on the calling thread and returns
+  /// the per-point scores (the stream's callback fires too).
+  std::vector<StreamPoint> Ingest(size_t stream,
+                                  std::span<const double> values);
+
+  size_t num_streams() const;
+
+  /// Checkpoints every stream into one versioned blob (sections produced
+  /// concurrently; the checksum covers all streams).
+  std::vector<uint8_t> Checkpoint() const;
+
+  /// Restores a Checkpoint() blob, replacing every current stream.
+  /// All-or-nothing: on any failure the hub is left exactly as it was.
+  /// Callbacks are cleared (they are not part of a checkpoint).
+  Status Restore(std::span<const uint8_t> blob);
+
+ private:
+  friend class Session;
+  struct Impl;
+  explicit StreamHub(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+/// A configured detector, constructed from a registry spec string such as
+/// "ensemble:wmax=10,amax=10,n=50,tau=0.4" (see egi/registry.h for the
+/// method names and option schemas, and egi/spec.h for the grammar).
+/// Move-only. Detect/Score results are bitwise-identical to driving the
+/// internal layers directly (enforced by tests/api_facade_test.cc).
+class Session {
+ public:
+  /// Parses and validates `spec` against the registry: unknown methods,
+  /// unknown or duplicate keys, malformed or out-of-range values all yield
+  /// a descriptive Status error.
+  static Result<Session> Open(std::string_view spec);
+  static Result<Session> Open(const DetectorSpec& spec);
+
+  Session(Session&&) noexcept;
+  Session& operator=(Session&&) noexcept;
+  ~Session();
+
+  /// The registry entry this session was built from.
+  const DetectorInfo& info() const;
+  std::string_view method() const;
+
+  /// Canonical fully-resolved spec: every schema key with its effective
+  /// value, in schema order. Open(spec()) reproduces this session.
+  std::string spec() const;
+
+  /// Detects up to `max_candidates` mutually non-overlapping anomalies,
+  /// most anomalous first. `window_length` is the anomaly scale of
+  /// interest. Detectors are reusable across series; randomized detectors
+  /// derive a fresh deterministic substream per call.
+  Result<std::vector<Detection>> Detect(std::span<const double> series,
+                                        size_t window_length,
+                                        size_t max_candidates = 3);
+
+  /// The detector's point-wise anomaly curve, one value per series point
+  /// (rule density for grammar methods — LOW = anomalous). Only methods
+  /// with info().supports_score provide one; others return
+  /// FailedPrecondition.
+  Result<std::vector<double>> Score(std::span<const double> series,
+                                    size_t window_length);
+
+  /// Opens an online stream scoring points against this session's ensemble
+  /// configuration. Only methods with info().supports_streaming (the
+  /// ensemble) support streaming; others return FailedPrecondition.
+  Result<StreamSession> OpenStream(const StreamOptions& options) const;
+
+  /// Opens a multi-stream hub whose streams default to `options` and this
+  /// session's ensemble configuration (same capability rules as
+  /// OpenStream).
+  Result<StreamHub> OpenHub(const StreamOptions& options) const;
+
+ private:
+  struct Impl;
+  explicit Session(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace egi

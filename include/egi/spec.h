@@ -1,0 +1,43 @@
+#pragma once
+
+// Part of the installed public API (see DESIGN.md, "Public API"). Detector
+// spec strings: the one-line, registry-driven way to name and configure any
+// detector, e.g. "ensemble:wmax=10,amax=10,n=50,tau=0.4".
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "egi/result.h"
+
+namespace egi {
+
+/// A parsed detector spec: a registry method name plus `key=value` options
+/// in their original order. Grammar:
+///
+///   spec    := method [ ":" option ( "," option )* ]
+///   option  := key "=" value
+///
+/// Whitespace around tokens is trimmed. Parse() enforces syntax only —
+/// non-empty method/keys/values and no duplicate keys; whether the method
+/// exists, the keys belong to its schema, and the values are well-typed and
+/// in range is checked against the registry when the spec is instantiated
+/// (Session::Open / MakeDetector).
+struct DetectorSpec {
+  std::string method;
+  std::vector<std::pair<std::string, std::string>> options;
+
+  static Result<DetectorSpec> Parse(std::string_view spec);
+
+  /// Renders back to spec-string form ("method" or "method:k=v,k=v", options
+  /// in stored order). Parse(ToString()) round-trips exactly.
+  std::string ToString() const;
+
+  /// The value stored for `key`, or nullptr when absent.
+  const std::string* Find(std::string_view key) const;
+
+  bool operator==(const DetectorSpec&) const = default;
+};
+
+}  // namespace egi

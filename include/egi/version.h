@@ -1,0 +1,15 @@
+#pragma once
+
+// Part of the installed public API (see DESIGN.md, "Public API").
+
+#define EGI_VERSION_MAJOR 1
+#define EGI_VERSION_MINOR 0
+#define EGI_VERSION_PATCH 0
+
+namespace egi {
+
+/// Library version as "major.minor.patch" (the version the binary was built
+/// from, as opposed to the macros above which describe the headers).
+const char* Version();
+
+}  // namespace egi

@@ -1,0 +1,254 @@
+#include "egi/session.h"
+
+#include <utility>
+
+#include "api/internal.h"
+#include "stream/detector.h"
+#include "stream/engine.h"
+#include "util/check.h"
+
+namespace egi {
+
+namespace {
+
+Detection ToDetection(const core::Anomaly& a) {
+  Detection d;
+  d.position = a.position;
+  d.length = a.length;
+  d.severity = a.severity;
+  d.run_length = a.run_length;
+  return d;
+}
+
+StreamPoint ToStreamPoint(const stream::ScoredPoint& p) {
+  StreamPoint out;
+  out.index = p.index;
+  out.value = p.value;
+  out.score = p.score;
+  out.scored = p.scored;
+  out.provisional = p.provisional;
+  out.refit = p.refit;
+  return out;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- StreamSession
+
+struct StreamSession::Impl {
+  explicit Impl(stream::StreamDetector d) : detector(std::move(d)) {}
+  stream::StreamDetector detector;
+};
+
+StreamSession::StreamSession(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+StreamSession::StreamSession(StreamSession&&) noexcept = default;
+StreamSession& StreamSession::operator=(StreamSession&&) noexcept = default;
+StreamSession::~StreamSession() = default;
+
+StreamPoint StreamSession::Append(double value) {
+  return ToStreamPoint(impl_->detector.Append(value));
+}
+
+std::vector<StreamPoint> StreamSession::Ingest(std::span<const double> values) {
+  std::vector<StreamPoint> out;
+  out.reserve(values.size());
+  for (const stream::ScoredPoint& p : impl_->detector.Ingest(values)) {
+    out.push_back(ToStreamPoint(p));
+  }
+  return out;
+}
+
+Status StreamSession::ForceRefit() { return impl_->detector.ForceRefit(); }
+
+size_t StreamSession::window_length() const {
+  return impl_->detector.window_length();
+}
+uint64_t StreamSession::total_appended() const {
+  return impl_->detector.total_appended();
+}
+size_t StreamSession::buffered() const { return impl_->detector.buffered(); }
+uint64_t StreamSession::refit_count() const {
+  return impl_->detector.refit_count();
+}
+bool StreamSession::fitted() const { return impl_->detector.fitted(); }
+
+double StreamSession::RollingMean() const {
+  return impl_->detector.window().WindowMean();
+}
+double StreamSession::RollingStdDev() const {
+  return impl_->detector.window().WindowStdDev();
+}
+
+std::vector<double> StreamSession::BufferSnapshot() const {
+  return impl_->detector.BufferSnapshot();
+}
+std::vector<double> StreamSession::ScoresSnapshot() const {
+  return impl_->detector.ScoresSnapshot();
+}
+
+std::vector<uint8_t> StreamSession::Checkpoint() const {
+  return impl_->detector.Serialize();
+}
+
+Result<StreamSession> StreamSession::Restore(std::span<const uint8_t> blob) {
+  EGI_ASSIGN_OR_RETURN(auto detector, stream::StreamDetector::Deserialize(blob));
+  return StreamSession(std::make_unique<Impl>(std::move(detector)));
+}
+
+// ----------------------------------------------------------------- StreamHub
+
+struct StreamHub::Impl {
+  explicit Impl(stream::StreamEngineOptions options)
+      : engine(std::move(options)) {}
+  stream::StreamEngine engine;
+};
+
+StreamHub::StreamHub(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+StreamHub::StreamHub(StreamHub&&) noexcept = default;
+StreamHub& StreamHub::operator=(StreamHub&&) noexcept = default;
+StreamHub::~StreamHub() = default;
+
+size_t StreamHub::AddStream() { return impl_->engine.AddStream(); }
+
+void StreamHub::SetCallback(size_t stream, Callback callback) {
+  if (callback == nullptr) {
+    impl_->engine.SetCallback(stream, nullptr);
+    return;
+  }
+  impl_->engine.SetCallback(
+      stream, [cb = std::move(callback)](stream::StreamId id,
+                                         const stream::ScoredPoint& p) {
+        cb(id, ToStreamPoint(p));
+      });
+}
+
+void StreamHub::Ingest(std::span<const HubBatch> batches) {
+  std::vector<stream::StreamBatch> internal;
+  internal.reserve(batches.size());
+  for (const HubBatch& b : batches) {
+    internal.push_back(stream::StreamBatch{b.stream, b.values});
+  }
+  impl_->engine.Ingest(internal);
+}
+
+std::vector<StreamPoint> StreamHub::Ingest(size_t stream,
+                                           std::span<const double> values) {
+  std::vector<StreamPoint> out;
+  out.reserve(values.size());
+  for (const stream::ScoredPoint& p : impl_->engine.Ingest(stream, values)) {
+    out.push_back(ToStreamPoint(p));
+  }
+  return out;
+}
+
+size_t StreamHub::num_streams() const { return impl_->engine.num_streams(); }
+
+std::vector<uint8_t> StreamHub::Checkpoint() const {
+  return impl_->engine.SaveAll();
+}
+
+Status StreamHub::Restore(std::span<const uint8_t> blob) {
+  return impl_->engine.LoadAll(blob);
+}
+
+// ------------------------------------------------------------------- Session
+
+struct Session::Impl {
+  Impl(const api::DetectorEntry* e, api::OptionValues v,
+       std::unique_ptr<core::AnomalyDetector> d)
+      : entry(e), values(std::move(v)), detector(std::move(d)) {}
+
+  const api::DetectorEntry* entry;
+  api::OptionValues values;
+  std::unique_ptr<core::AnomalyDetector> detector;
+};
+
+Session::Session(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+Session::Session(Session&&) noexcept = default;
+Session& Session::operator=(Session&&) noexcept = default;
+Session::~Session() = default;
+
+Result<Session> Session::Open(std::string_view spec) {
+  EGI_ASSIGN_OR_RETURN(auto parsed, DetectorSpec::Parse(spec));
+  return Open(parsed);
+}
+
+Result<Session> Session::Open(const DetectorSpec& spec) {
+  const api::DetectorEntry* entry = api::FindEntry(spec.method);
+  if (entry == nullptr) return api::UnknownDetectorError(spec.method);
+  EGI_ASSIGN_OR_RETURN(auto values, api::ResolveOptions(*entry, spec));
+  auto detector = entry->make(values);
+  EGI_CHECK(detector != nullptr);
+  return Session(std::make_unique<Impl>(entry, std::move(values),
+                                        std::move(detector)));
+}
+
+const DetectorInfo& Session::info() const { return impl_->entry->info; }
+
+std::string_view Session::method() const { return impl_->entry->info.name; }
+
+std::string Session::spec() const {
+  return api::CanonicalSpec(*impl_->entry, impl_->values);
+}
+
+Result<std::vector<Detection>> Session::Detect(std::span<const double> series,
+                                               size_t window_length,
+                                               size_t max_candidates) {
+  EGI_ASSIGN_OR_RETURN(auto found, impl_->detector->Detect(
+                                       series, window_length, max_candidates));
+  std::vector<Detection> out;
+  out.reserve(found.size());
+  for (const core::Anomaly& a : found) out.push_back(ToDetection(a));
+  return out;
+}
+
+Result<std::vector<double>> Session::Score(std::span<const double> series,
+                                           size_t window_length) {
+  if (impl_->entry->score == nullptr) {
+    return Status::FailedPrecondition(
+        "method '" + std::string(method()) +
+        "' has no point-wise score curve (see DetectorInfo::supports_score)");
+  }
+  return impl_->entry->score(impl_->values, series, window_length);
+}
+
+namespace {
+
+Result<stream::StreamDetectorOptions> StreamOptionsFor(
+    const api::DetectorEntry& entry, const api::OptionValues& values,
+    const StreamOptions& options) {
+  if (entry.ensemble == nullptr) {
+    return Status::FailedPrecondition(
+        "method '" + std::string(entry.info.name) +
+        "' does not support streaming (see DetectorInfo::supports_streaming)");
+  }
+  stream::StreamDetectorOptions out;
+  out.ensemble = entry.ensemble(values);
+  out.ensemble.window_length = options.window_length;
+  out.buffer_capacity = options.buffer_capacity;
+  out.refit_interval = options.refit_interval;
+  EGI_RETURN_IF_ERROR(stream::StreamDetector::ValidateOptions(out));
+  return out;
+}
+
+}  // namespace
+
+Result<StreamSession> Session::OpenStream(const StreamOptions& options) const {
+  EGI_ASSIGN_OR_RETURN(auto detector_options,
+                       StreamOptionsFor(*impl_->entry, impl_->values, options));
+  return StreamSession(std::make_unique<StreamSession::Impl>(
+      stream::StreamDetector(detector_options)));
+}
+
+Result<StreamHub> Session::OpenHub(const StreamOptions& options) const {
+  EGI_ASSIGN_OR_RETURN(auto detector_options,
+                       StreamOptionsFor(*impl_->entry, impl_->values, options));
+  stream::StreamEngineOptions engine_options;
+  engine_options.detector = detector_options;
+  engine_options.parallelism = detector_options.ensemble.parallelism;
+  return StreamHub(
+      std::make_unique<StreamHub::Impl>(std::move(engine_options)));
+}
+
+}  // namespace egi

@@ -1,0 +1,81 @@
+#include "egi/spec.h"
+
+#include <string>
+
+namespace egi {
+
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+Result<DetectorSpec> DetectorSpec::Parse(std::string_view text) {
+  DetectorSpec spec;
+  const size_t colon = text.find(':');
+  spec.method = std::string(Trim(text.substr(0, colon)));
+  if (spec.method.empty()) {
+    return Status::InvalidArgument("detector spec has an empty method name");
+  }
+
+  if (colon == std::string_view::npos) return spec;
+  std::string_view rest = text.substr(colon + 1);
+  // "method:" with nothing after the colon is one empty option.
+  while (true) {
+    const size_t comma = rest.find(',');
+    const std::string_view item = Trim(rest.substr(0, comma));
+    if (item.empty()) {
+      return Status::InvalidArgument("detector spec '" + std::string(text) +
+                                     "' has an empty option");
+    }
+    const size_t eq = item.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument("option '" + std::string(item) +
+                                     "' is not of the form key=value");
+    }
+    const std::string key(Trim(item.substr(0, eq)));
+    const std::string value(Trim(item.substr(eq + 1)));
+    if (key.empty()) {
+      return Status::InvalidArgument("option '" + std::string(item) +
+                                     "' has an empty key");
+    }
+    if (value.empty()) {
+      return Status::InvalidArgument("option '" + key + "' has an empty value");
+    }
+    if (spec.Find(key) != nullptr) {
+      return Status::InvalidArgument("duplicate option key '" + key + "'");
+    }
+    spec.options.emplace_back(key, value);
+    if (comma == std::string_view::npos) break;
+    rest = rest.substr(comma + 1);
+  }
+  return spec;
+}
+
+std::string DetectorSpec::ToString() const {
+  std::string out = method;
+  for (size_t i = 0; i < options.size(); ++i) {
+    out += i == 0 ? ':' : ',';
+    out += options[i].first;
+    out += '=';
+    out += options[i].second;
+  }
+  return out;
+}
+
+const std::string* DetectorSpec::Find(std::string_view key) const {
+  for (const auto& [k, v] : options) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+}  // namespace egi

@@ -37,7 +37,12 @@ struct EnsembleParams {
   /// Degree of parallelism for the N member computations (Lines 4-6 of
   /// Algorithm 1). Each member writes only its own curve slot, so the
   /// result is bitwise-identical for every thread count (tested).
-  exec::Parallelism parallelism = exec::Parallelism::Serial();
+  ///
+  /// The library-wide default is FromEnv() — EGI_NUM_THREADS, falling back
+  /// to hardware_concurrency — everywhere a detector is configured
+  /// (EnsembleParams, eval::MethodConfig, and the registry's `threads=`
+  /// option all agree; pinned by tests/api_spec_test.cc).
+  exec::Parallelism parallelism = exec::Parallelism::FromEnv();
 
   // Ablation knobs (paper behaviour by default, except boundary_correction
   // which fixes a structural edge artifact — see grammar/density.h).

@@ -1,5 +1,9 @@
 #include "eval/methods.h"
 
+#include <string>
+#include <utility>
+
+#include "api/internal.h"
 #include "util/check.h"
 
 namespace egi::eval {
@@ -20,32 +24,63 @@ std::string_view MethodName(Method method) {
   return "Unknown";
 }
 
+std::string_view MethodSpecName(Method method) {
+  switch (method) {
+    case Method::kProposed:
+      return "ensemble";
+    case Method::kGiRandom:
+      return "gi-random";
+    case Method::kGiFix:
+      return "gi-fix";
+    case Method::kGiSelect:
+      return "gi-select";
+    case Method::kDiscord:
+      return "discord";
+  }
+  return "unknown";
+}
+
+DetectorSpec SpecForMethod(Method method, const MethodConfig& config) {
+  DetectorSpec spec;
+  spec.method = std::string(MethodSpecName(method));
+  auto add = [&spec](std::string_view key, std::string value) {
+    spec.options.emplace_back(std::string(key), std::move(value));
+  };
+  switch (method) {
+    case Method::kProposed:
+      add("wmax", std::to_string(config.wmax));
+      add("amax", std::to_string(config.amax));
+      add("n", std::to_string(config.ensemble_size));
+      add("tau", api::FormatSpecDouble(config.selectivity));
+      add("seed", std::to_string(config.seed));
+      add("threads", std::to_string(config.parallelism.threads));
+      break;
+    case Method::kGiRandom:
+      add("wmax", std::to_string(config.wmax));
+      add("amax", std::to_string(config.amax));
+      add("seed", std::to_string(config.seed));
+      break;
+    case Method::kGiFix:
+      // The paper's generic w = 4, a = 4 — the schema defaults.
+      break;
+    case Method::kGiSelect:
+      add("wmax", std::to_string(config.wmax));
+      add("amax", std::to_string(config.amax));
+      // train fraction stays the schema default (the paper's 10% prefix).
+      break;
+    case Method::kDiscord:
+      add("threads", std::to_string(config.parallelism.threads));
+      break;
+  }
+  return spec;
+}
+
 std::unique_ptr<core::AnomalyDetector> MakeMethod(Method method,
                                                   const MethodConfig& config) {
-  switch (method) {
-    case Method::kProposed: {
-      core::EnsembleParams p;
-      p.wmax = config.wmax;
-      p.amax = config.amax;
-      p.ensemble_size = config.ensemble_size;
-      p.selectivity = config.selectivity;
-      p.seed = config.seed;
-      p.parallelism = config.parallelism;
-      return std::make_unique<core::EnsembleGiDetector>(p);
-    }
-    case Method::kGiRandom:
-      return std::make_unique<core::RandomGiDetector>(config.wmax, config.amax,
-                                                      config.seed);
-    case Method::kGiFix:
-      return std::make_unique<core::FixedGiDetector>(4, 4);
-    case Method::kGiSelect:
-      return std::make_unique<core::SelectGiDetector>(config.wmax,
-                                                      config.amax, 0.1);
-    case Method::kDiscord:
-      return std::make_unique<core::DiscordDetector>(config.parallelism);
-  }
-  EGI_CHECK(false) << "unknown method";
-  return nullptr;
+  auto built = api::BuildDetector(SpecForMethod(method, config));
+  EGI_CHECK(built.ok()) << "MakeMethod(" << MethodName(method)
+                        << "): " << built.status().ToString();
+  return std::move(built).value();
 }
 
 }  // namespace egi::eval

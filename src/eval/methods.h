@@ -5,10 +5,14 @@
 #include <string_view>
 
 #include "core/detector.h"
+#include "egi/spec.h"
 
 namespace egi::eval {
 
-/// The five methods compared in the paper's Section 7.1.3.
+/// The five methods compared in the paper's Section 7.1.3. This enum is the
+/// evaluation layer's stable iteration order over the paper's methods; the
+/// detectors themselves are constructed through the public registry
+/// (egi/registry.h) — see SpecForMethod/MakeMethod below.
 enum class Method {
   kProposed,   ///< ensemble grammar induction (Algorithm 1)
   kGiRandom,   ///< single GI run, random (w, a) per series
@@ -26,7 +30,12 @@ inline constexpr std::array<Method, 3> kGiBaselines = {
     Method::kGiRandom, Method::kGiFix, Method::kGiSelect,
 };
 
+/// Display name used in the paper's tables ("Proposed", "GI-Random", ...).
 std::string_view MethodName(Method method);
+
+/// The method's registry name ("ensemble", "gi-random", ...), usable in a
+/// detector spec string (egi/spec.h).
+std::string_view MethodSpecName(Method method);
 
 /// Knobs shared by the GI-based methods; defaults are the paper's settings
 /// (amax = wmax = 10, N = 50, tau = 40%).
@@ -37,12 +46,22 @@ struct MethodConfig {
   double selectivity = 0.4;
   uint64_t seed = 42;
   /// Intra-detector parallelism (ensemble member curves, STOMP rows).
-  /// Results are bitwise-identical for every thread count; defaults to
-  /// EGI_NUM_THREADS / hardware_concurrency.
+  /// Results are bitwise-identical for every thread count. The library-wide
+  /// default is FromEnv() — EGI_NUM_THREADS, falling back to
+  /// hardware_concurrency — matching core::EnsembleParams and the registry
+  /// `threads=` option (pinned by tests/api_spec_test.cc).
   exec::Parallelism parallelism = exec::Parallelism::FromEnv();
 };
 
-/// Builds a configured detector for one of the paper's methods.
+/// Renders the method + config as a registry spec (e.g.
+/// "ensemble:wmax=10,amax=10,n=50,tau=0.4,seed=42,threads=8"). Only the
+/// options the method's schema accepts are emitted.
+DetectorSpec SpecForMethod(Method method, const MethodConfig& config);
+
+/// Builds a configured detector for one of the paper's methods by resolving
+/// SpecForMethod() against the public detector registry. Aborts on an
+/// invalid config (programmer error); spec-driven callers wanting Status
+/// errors use egi::Session::Open instead.
 std::unique_ptr<core::AnomalyDetector> MakeMethod(
     Method method, const MethodConfig& config = MethodConfig{});
 

@@ -1,65 +1,5 @@
 #pragma once
 
-#include <utility>
-#include <variant>
-
-#include "util/check.h"
-#include "util/status.h"
-
-namespace egi {
-
-/// Holds either a value of type `T` or a non-OK `Status`, in the style of
-/// arrow::Result. Accessing the value of an errored Result aborts (program
-/// bug); callers must test `ok()` first or use EGI_ASSIGN_OR_RETURN.
-template <typename T>
-class Result {
- public:
-  /// Implicit construction from a value (success).
-  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
-  /// Implicit construction from a non-OK status (failure).
-  Result(Status status) : repr_(std::move(status)) {  // NOLINT
-    EGI_CHECK(!std::get<Status>(repr_).ok())
-        << "Result constructed from OK status";
-  }
-
-  bool ok() const { return std::holds_alternative<T>(repr_); }
-
-  const Status& status() const {
-    static const Status kOk = Status::OK();
-    return ok() ? kOk : std::get<Status>(repr_);
-  }
-
-  const T& value() const& {
-    EGI_CHECK(ok()) << "Result::value() on error: " << status().ToString();
-    return std::get<T>(repr_);
-  }
-  T& value() & {
-    EGI_CHECK(ok()) << "Result::value() on error: " << status().ToString();
-    return std::get<T>(repr_);
-  }
-  T&& value() && {
-    EGI_CHECK(ok()) << "Result::value() on error: " << status().ToString();
-    return std::get<T>(std::move(repr_));
-  }
-
-  const T& operator*() const& { return value(); }
-  T& operator*() & { return value(); }
-  const T* operator->() const { return &value(); }
-  T* operator->() { return &value(); }
-
- private:
-  std::variant<T, Status> repr_;
-};
-
-}  // namespace egi
-
-#define EGI_RESULT_CONCAT_INNER(a, b) a##b
-#define EGI_RESULT_CONCAT(a, b) EGI_RESULT_CONCAT_INNER(a, b)
-
-/// Evaluates `rexpr` (a Result<T>); on error returns the status, otherwise
-/// assigns the value to `lhs`.
-#define EGI_ASSIGN_OR_RETURN(lhs, rexpr)                            \
-  auto EGI_RESULT_CONCAT(_egi_result_, __LINE__) = (rexpr);         \
-  if (!EGI_RESULT_CONCAT(_egi_result_, __LINE__).ok())              \
-    return EGI_RESULT_CONCAT(_egi_result_, __LINE__).status();      \
-  lhs = std::move(EGI_RESULT_CONCAT(_egi_result_, __LINE__)).value()
+// Result moved to the installed public API; this forwarder keeps the
+// internal "util/result.h" include path working.
+#include "egi/result.h"

@@ -1,6 +1,23 @@
 #include "util/status.h"
 
+#include "util/check.h"
+#include "util/result.h"
+
 namespace egi {
+
+namespace internal {
+
+void ResultAccessFailure(const Status& status) {
+  EGI_CHECK(false) << "Result::value() on error: " << status.ToString();
+  std::abort();  // unreachable; keeps [[noreturn]] honest for the compiler
+}
+
+void ResultFromOkFailure() {
+  EGI_CHECK(false) << "Result constructed from OK status";
+  std::abort();
+}
+
+}  // namespace internal
 
 std::string_view StatusCodeToString(StatusCode code) {
   switch (code) {

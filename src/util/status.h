@@ -1,77 +1,5 @@
 #pragma once
 
-#include <ostream>
-#include <string>
-#include <string_view>
-#include <utility>
-
-namespace egi {
-
-/// Canonical error codes, loosely following the Arrow/RocksDB convention.
-enum class StatusCode {
-  kOk = 0,
-  kInvalidArgument,
-  kOutOfRange,
-  kNotFound,
-  kFailedPrecondition,
-  kInternal,
-};
-
-/// Returns a human-readable name for a status code ("OK", "InvalidArgument"...).
-std::string_view StatusCodeToString(StatusCode code);
-
-/// Lightweight status object used for fallible operations in the public API.
-///
-/// The library does not throw exceptions for anticipated failures (bad
-/// parameters, degenerate inputs); functions return `Status` or `Result<T>`
-/// instead. Internal invariants use the EGI_CHECK macros from check.h.
-class Status {
- public:
-  /// Constructs an OK status.
-  Status() : code_(StatusCode::kOk) {}
-  Status(StatusCode code, std::string message)
-      : code_(code), message_(std::move(message)) {}
-
-  static Status OK() { return Status(); }
-  static Status InvalidArgument(std::string msg) {
-    return Status(StatusCode::kInvalidArgument, std::move(msg));
-  }
-  static Status OutOfRange(std::string msg) {
-    return Status(StatusCode::kOutOfRange, std::move(msg));
-  }
-  static Status NotFound(std::string msg) {
-    return Status(StatusCode::kNotFound, std::move(msg));
-  }
-  static Status FailedPrecondition(std::string msg) {
-    return Status(StatusCode::kFailedPrecondition, std::move(msg));
-  }
-  static Status Internal(std::string msg) {
-    return Status(StatusCode::kInternal, std::move(msg));
-  }
-
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
-
-  /// "OK" or "<Code>: <message>".
-  std::string ToString() const;
-
-  bool operator==(const Status& other) const {
-    return code_ == other.code_ && message_ == other.message_;
-  }
-
- private:
-  StatusCode code_;
-  std::string message_;
-};
-
-std::ostream& operator<<(std::ostream& os, const Status& status);
-
-}  // namespace egi
-
-/// Propagates a non-OK status to the caller.
-#define EGI_RETURN_IF_ERROR(expr)                \
-  do {                                           \
-    ::egi::Status _egi_status = (expr);          \
-    if (!_egi_status.ok()) return _egi_status;   \
-  } while (false)
+// Status moved to the installed public API; this forwarder keeps the
+// internal "util/status.h" include path working.
+#include "egi/status.h"

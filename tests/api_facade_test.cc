@@ -1,0 +1,316 @@
+// Façade-vs-direct equality: everything the public Session front door
+// returns must be bitwise-identical to driving the internal layers
+// directly — batch density curves, detections, streaming scores, and
+// checkpoint blobs — at 1 and 4 threads (the acceptance bar of the
+// public-API redesign).
+
+#include <bit>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "core/detector.h"
+#include "core/ensemble.h"
+#include "core/gi.h"
+#include "datasets/planted.h"
+#include "egi/egi.h"
+#include "stream/detector.h"
+#include "stream/engine.h"
+#include "util/rng.h"
+
+namespace egi {
+namespace {
+
+constexpr size_t kWindow = 82;
+
+const std::vector<double>& TestSeries() {
+  static const std::vector<double> series = [] {
+    Rng rng(7);
+    return datasets::MakePlantedSeries(datasets::UcrDataset::kTwoLeadEcg, rng)
+        .values;
+  }();
+  return series;
+}
+
+// Bitwise double equality (NaN patterns included).
+bool SameBits(double a, double b) {
+  return std::bit_cast<uint64_t>(a) == std::bit_cast<uint64_t>(b);
+}
+
+void ExpectSameCurve(const std::vector<double>& facade,
+                     const std::vector<double>& direct) {
+  ASSERT_EQ(facade.size(), direct.size());
+  for (size_t i = 0; i < facade.size(); ++i) {
+    ASSERT_TRUE(SameBits(facade[i], direct[i])) << "index " << i;
+  }
+}
+
+core::EnsembleParams DirectEnsembleParams(int threads) {
+  core::EnsembleParams p;
+  p.wmax = 10;
+  p.amax = 10;
+  p.ensemble_size = 10;
+  p.selectivity = 0.4;
+  p.seed = 42;
+  p.parallelism = exec::Parallelism::Fixed(threads);
+  return p;
+}
+
+std::string EnsembleSpec(int threads) {
+  return "ensemble:wmax=10,amax=10,n=10,tau=0.4,seed=42,threads=" +
+         std::to_string(threads);
+}
+
+class FacadeEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+// ------------------------------------------------------------------- batch
+
+TEST_P(FacadeEquivalenceTest, BatchDensityMatchesDirect) {
+  const int threads = GetParam();
+  auto session = Session::Open(EnsembleSpec(threads));
+  ASSERT_TRUE(session.ok());
+  auto facade = session->Score(TestSeries(), kWindow);
+  ASSERT_TRUE(facade.ok());
+
+  core::EnsembleParams p = DirectEnsembleParams(threads);
+  p.window_length = kWindow;
+  auto direct = core::ComputeEnsembleDensity(TestSeries(), p);
+  ASSERT_TRUE(direct.ok());
+  ExpectSameCurve(*facade, direct->density);
+}
+
+TEST_P(FacadeEquivalenceTest, DetectMatchesDirect) {
+  const int threads = GetParam();
+  auto session = Session::Open(EnsembleSpec(threads));
+  ASSERT_TRUE(session.ok());
+  auto facade = session->Detect(TestSeries(), kWindow, 3);
+  ASSERT_TRUE(facade.ok());
+
+  core::EnsembleGiDetector detector(DirectEnsembleParams(threads));
+  auto direct = detector.Detect(TestSeries(), kWindow, 3);
+  ASSERT_TRUE(direct.ok());
+
+  ASSERT_EQ(facade->size(), direct->size());
+  for (size_t i = 0; i < facade->size(); ++i) {
+    EXPECT_EQ((*facade)[i].position, (*direct)[i].position);
+    EXPECT_EQ((*facade)[i].length, (*direct)[i].length);
+    EXPECT_TRUE(SameBits((*facade)[i].severity, (*direct)[i].severity));
+    EXPECT_EQ((*facade)[i].run_length, (*direct)[i].run_length);
+  }
+}
+
+TEST(FacadeTest, GiFixScoreMatchesDirect) {
+  auto session = Session::Open("gi-fix:w=5,a=4");
+  ASSERT_TRUE(session.ok());
+  auto facade = session->Score(TestSeries(), kWindow);
+  ASSERT_TRUE(facade.ok());
+
+  core::GiParams p;
+  p.window_length = kWindow;
+  p.paa_size = 5;
+  p.alphabet_size = 4;
+  auto direct = core::RunGrammarInduction(TestSeries(), p);
+  ASSERT_TRUE(direct.ok());
+  ExpectSameCurve(*facade, direct->density);
+}
+
+// --------------------------------------------------------------- streaming
+
+stream::StreamDetectorOptions DirectStreamOptions(int threads) {
+  stream::StreamDetectorOptions options;
+  options.ensemble = DirectEnsembleParams(threads);
+  options.ensemble.window_length = kWindow;
+  options.buffer_capacity = 512;
+  options.refit_interval = 128;
+  return options;
+}
+
+StreamOptions FacadeStreamOptions() {
+  StreamOptions options;
+  options.window_length = kWindow;
+  options.buffer_capacity = 512;
+  options.refit_interval = 128;
+  return options;
+}
+
+void ExpectSamePoint(const StreamPoint& facade,
+                     const stream::ScoredPoint& direct) {
+  ASSERT_EQ(facade.index, direct.index);
+  ASSERT_TRUE(SameBits(facade.value, direct.value));
+  ASSERT_TRUE(SameBits(facade.score, direct.score)) << "index " << facade.index;
+  ASSERT_EQ(facade.scored, direct.scored);
+  ASSERT_EQ(facade.provisional, direct.provisional);
+  ASSERT_EQ(facade.refit, direct.refit);
+}
+
+TEST_P(FacadeEquivalenceTest, StreamingScoresMatchDirect) {
+  const int threads = GetParam();
+  auto session = Session::Open(EnsembleSpec(threads));
+  ASSERT_TRUE(session.ok());
+  auto facade = session->OpenStream(FacadeStreamOptions());
+  ASSERT_TRUE(facade.ok());
+
+  stream::StreamDetector direct(DirectStreamOptions(threads));
+  for (const double v : TestSeries()) {
+    ExpectSamePoint(facade->Append(v), direct.Append(v));
+  }
+  EXPECT_EQ(facade->refit_count(), direct.refit_count());
+  ExpectSameCurve(facade->ScoresSnapshot(), direct.ScoresSnapshot());
+  ExpectSameCurve(facade->BufferSnapshot(), direct.BufferSnapshot());
+}
+
+TEST_P(FacadeEquivalenceTest, CheckpointRoundTripMatchesDirect) {
+  const int threads = GetParam();
+  const auto& series = TestSeries();
+  const size_t half = series.size() / 2;
+
+  auto session = Session::Open(EnsembleSpec(threads));
+  ASSERT_TRUE(session.ok());
+  auto facade = session->OpenStream(FacadeStreamOptions());
+  ASSERT_TRUE(facade.ok());
+  stream::StreamDetector direct(DirectStreamOptions(threads));
+  for (size_t i = 0; i < half; ++i) {
+    facade->Append(series[i]);
+    direct.Append(series[i]);
+  }
+
+  // Same state -> byte-identical checkpoint blobs.
+  const std::vector<uint8_t> facade_blob = facade->Checkpoint();
+  const std::vector<uint8_t> direct_blob = direct.Serialize();
+  ASSERT_EQ(facade_blob, direct_blob);
+
+  // Restored façade stream continues bitwise-identically to the restored
+  // direct detector (and to the uninterrupted runs, by transitivity with
+  // the PR 4 continuation tests).
+  auto restored = StreamSession::Restore(facade_blob);
+  ASSERT_TRUE(restored.ok());
+  auto direct_restored = stream::StreamDetector::Deserialize(direct_blob);
+  ASSERT_TRUE(direct_restored.ok());
+  for (size_t i = half; i < series.size(); ++i) {
+    ExpectSamePoint(restored->Append(series[i]),
+                    direct_restored->Append(series[i]));
+  }
+  // Re-checkpointing both continuations agrees too.
+  EXPECT_EQ(restored->Checkpoint(), direct_restored->Serialize());
+}
+
+TEST_P(FacadeEquivalenceTest, HubMatchesEngine) {
+  const int threads = GetParam();
+  const auto& series = TestSeries();
+  const auto feed = std::span<const double>(series).first(series.size() / 2);
+
+  auto session = Session::Open(EnsembleSpec(threads));
+  ASSERT_TRUE(session.ok());
+  auto hub = session->OpenHub(FacadeStreamOptions());
+  ASSERT_TRUE(hub.ok());
+
+  stream::StreamEngineOptions engine_options;
+  engine_options.detector = DirectStreamOptions(threads);
+  engine_options.parallelism = exec::Parallelism::Fixed(threads);
+  stream::StreamEngine engine(engine_options);
+
+  for (int s = 0; s < 3; ++s) {
+    hub->AddStream();
+    engine.AddStream();
+  }
+  std::vector<HubBatch> hub_batches;
+  std::vector<stream::StreamBatch> engine_batches;
+  for (size_t s = 0; s < 3; ++s) {
+    hub_batches.push_back(HubBatch{s, feed});
+    engine_batches.push_back(stream::StreamBatch{s, feed});
+  }
+  hub->Ingest(hub_batches);
+  engine.Ingest(engine_batches);
+
+  EXPECT_EQ(hub->num_streams(), engine.num_streams());
+  EXPECT_EQ(hub->Checkpoint(), engine.SaveAll());
+
+  // Per-stream continuation through the hub matches the engine.
+  const auto rest = std::span<const double>(series).subspan(series.size() / 2);
+  for (size_t s = 0; s < 3; ++s) {
+    const auto facade_points = hub->Ingest(s, rest);
+    const auto direct_points = engine.Ingest(s, rest);
+    ASSERT_EQ(facade_points.size(), direct_points.size());
+    for (size_t i = 0; i < facade_points.size(); ++i) {
+      ExpectSamePoint(facade_points[i], direct_points[i]);
+    }
+  }
+}
+
+TEST(FacadeTest, HubRestoreRoundTrips) {
+  auto session = Session::Open(EnsembleSpec(1));
+  ASSERT_TRUE(session.ok());
+  auto hub = session->OpenHub(FacadeStreamOptions());
+  ASSERT_TRUE(hub.ok());
+  hub->AddStream();
+  hub->AddStream();
+  const auto feed =
+      std::span<const double>(TestSeries()).first(TestSeries().size() / 2);
+  hub->Ingest(0, feed);
+  hub->Ingest(1, feed);
+
+  const auto blob = hub->Checkpoint();
+  auto standby = session->OpenHub(FacadeStreamOptions());
+  ASSERT_TRUE(standby.ok());
+  ASSERT_TRUE(standby->Restore(blob).ok());
+  EXPECT_EQ(standby->num_streams(), 2u);
+  EXPECT_EQ(standby->Checkpoint(), blob);
+
+  // Corruption is a clean Status error and leaves the hub untouched.
+  auto corrupted = blob;
+  corrupted[corrupted.size() / 2] ^= 0x01;
+  EXPECT_FALSE(standby->Restore(corrupted).ok());
+  EXPECT_EQ(standby->num_streams(), 2u);
+}
+
+// ------------------------------------------------------------- capabilities
+
+TEST(FacadeTest, CapabilitiesAreEnforced) {
+  const auto& series = TestSeries();
+  for (const char* method : {"discord", "gi-random"}) {
+    auto session = Session::Open(method);
+    ASSERT_TRUE(session.ok()) << method;
+    EXPECT_FALSE(session->info().supports_score) << method;
+    const auto score = session->Score(series, kWindow);
+    ASSERT_FALSE(score.ok()) << method;
+    EXPECT_EQ(score.status().code(), StatusCode::kFailedPrecondition);
+  }
+  for (const char* method : {"discord", "gi-fix", "gi-random", "gi-select"}) {
+    auto session = Session::Open(method);
+    ASSERT_TRUE(session.ok()) << method;
+    EXPECT_FALSE(session->info().supports_streaming) << method;
+    const auto stream = session->OpenStream(FacadeStreamOptions());
+    ASSERT_FALSE(stream.ok()) << method;
+    EXPECT_EQ(stream.status().code(), StatusCode::kFailedPrecondition);
+    EXPECT_FALSE(session->OpenHub(FacadeStreamOptions()).ok()) << method;
+  }
+  // Invalid stream shapes surface the detector's Status validation.
+  auto session = Session::Open("ensemble");
+  ASSERT_TRUE(session.ok());
+  StreamOptions bad;
+  bad.window_length = 0;
+  EXPECT_FALSE(session->OpenStream(bad).ok());
+  bad = FacadeStreamOptions();
+  bad.buffer_capacity = 10;  // < window_length
+  EXPECT_FALSE(session->OpenStream(bad).ok());
+}
+
+// Every registered detector Detects through the façade on real data.
+TEST(FacadeTest, EveryRegisteredDetectorDetects) {
+  Rng rng(11);
+  const auto data =
+      datasets::MakePlantedSeries(datasets::UcrDataset::kWafer, rng);
+  for (const auto& info : ListDetectors()) {
+    auto session = Session::Open(info.name);
+    ASSERT_TRUE(session.ok()) << info.name;
+    auto result = session->Detect(data.values, 150, 3);
+    ASSERT_TRUE(result.ok()) << info.name;
+    EXPECT_FALSE(result->empty()) << info.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, FacadeEquivalenceTest,
+                         ::testing::Values(1, 4));
+
+}  // namespace
+}  // namespace egi

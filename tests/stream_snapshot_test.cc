@@ -33,6 +33,10 @@ StreamDetectorOptions SmallOptions() {
   opt.ensemble.amax = 6;
   opt.ensemble.ensemble_size = 12;
   opt.ensemble.seed = 42;
+  // Pinned (the library default is FromEnv): parallelism.threads is part of
+  // the serialized options block, so snapshot bytes compared across runs —
+  // and the golden fixture below — must not depend on the machine.
+  opt.ensemble.parallelism = exec::Parallelism::Serial();
   opt.buffer_capacity = 256;
   opt.refit_interval = 64;
   return opt;
@@ -449,6 +453,9 @@ StreamDetector GoldenDetector() {
   opt.ensemble.amax = 5;
   opt.ensemble.ensemble_size = 6;
   opt.ensemble.seed = 20200317;
+  // Pinned so regeneration produces identical fixture bytes on any machine
+  // (the library default is the machine-dependent FromEnv).
+  opt.ensemble.parallelism = exec::Parallelism::Serial();
   opt.buffer_capacity = 128;
   opt.refit_interval = 50;
   StreamDetector detector(opt);
