@@ -18,8 +18,10 @@
 #include "bench_common.h"
 #include "core/ensemble.h"
 #include "datasets/random_walk.h"
+#include "sax/breakpoints.h"
 #include "sax/multires_encoder.h"
 #include "sax/sax_encoder.h"
+#include "sax/simd/kernels.h"
 #include "util/env.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
@@ -101,6 +103,7 @@ int main(int argc, char** argv) {
       if (json) {
         bench::JsonRecord("micro_sax")
             .Add("mode", mode)
+            .Add("kernel", sax::simd::ActiveKernelName())
             .Add("series_length", static_cast<int64_t>(len))
             .Add("window", static_cast<int64_t>(window))
             .Add("pairs", static_cast<int64_t>(pairs.size()))
@@ -112,6 +115,50 @@ int main(int argc, char** argv) {
         table.AddRow({mode, std::to_string(len), FormatDouble(secs, 4),
                       FormatDouble(rate, 0)});
       }
+    }
+  }
+
+  // Breakpoint resolution in isolation: a buffer of z-normal-range values
+  // pushed through the active intervals kernel (the batched lower-bound
+  // that EncodeAll and the streaming provisional scorer use), per alphabet
+  // size. Measures pure symbols/sec with no PAA or packing in the loop.
+  {
+    const size_t num_values = quick ? (1u << 16) : (1u << 20);
+    std::vector<double> values(num_values);
+    Rng rng(11);
+    for (double& v : values) v = rng.UniformDouble(-4.0, 4.0);
+    std::vector<uint32_t> symbols(num_values);
+    TextTable bp_table("breakpoint resolution throughput");
+    bp_table.SetHeader({"Alphabet", "Time (s)", "Symbols/sec"});
+    for (const int a : {4, 8, 16}) {
+      const std::vector<double> breakpoints = sax::GaussianBreakpoints(a);
+      const double secs = bench::BestSeconds(reps, [&] {
+        sax::simd::ActiveKernels().intervals(values.data(), values.size(),
+                                             breakpoints.data(),
+                                             breakpoints.size(),
+                                             symbols.data());
+        bench::KeepAlive(symbols);
+      });
+      const double rate = static_cast<double>(num_values) /
+                          std::max(secs, 1e-12);
+      if (json) {
+        bench::JsonRecord("micro_sax")
+            .Add("mode", "breakpoint_lookup")
+            .Add("kernel", sax::simd::ActiveKernelName())
+            .Add("alphabet_size", static_cast<int64_t>(a))
+            .Add("values", static_cast<int64_t>(num_values))
+            .Add("seconds", secs)
+            .Add("symbols_per_sec", rate)
+            .Add("quick", quick)
+            .Emit(std::cout);
+      } else {
+        bp_table.AddRow({std::to_string(a), FormatDouble(secs, 4),
+                         FormatDouble(rate, 0)});
+      }
+    }
+    if (!json) {
+      std::printf("\n");
+      bp_table.Print(std::cout);
     }
   }
 

@@ -18,10 +18,21 @@ lower-is-better. A "regression" is a worsening beyond --threshold.
 
 Usage:
   trend_report.py OLD_DIR NEW_DIR [--threshold 0.25] [--strict]
+      [--gate-benches micro_sax,micro_stream] [--gate-threshold 0.5]
+      [--baseline DIR]
 
 Exit status: 0 normally; 1 with --strict when any regression exceeds the
 threshold (CI runs without --strict: quick-mode records on shared runners
 are too noisy to gate merges, the report is for humans reading the log).
+
+Hard gate: records whose identity "bench" field is listed in --gate-benches
+are held to --gate-threshold (deliberately generous — it exists to catch
+"the optimization fell off", not scheduler noise). A gated regression exits
+1 regardless of --strict. When --baseline DIR is given, gated records that
+have a ratified counterpart there (same file name + identity) are compared
+against the baseline instead of OLD_DIR, so a PR that intentionally shifts
+performance ratifies the new numbers by updating bench/baselines/ in the
+same change (see bench/baselines/README.md).
 """
 
 import argparse
@@ -89,11 +100,23 @@ def main():
                              "(default 0.25 = 25%%)")
     parser.add_argument("--strict", action="store_true",
                         help="exit 1 when any regression exceeds threshold")
+    parser.add_argument("--gate-benches", default="",
+                        help="comma-separated bench names held to the hard "
+                             "gate (matches each record's \"bench\" field)")
+    parser.add_argument("--gate-threshold", type=float, default=0.5,
+                        help="relative worsening that fails a gated bench "
+                             "(default 0.5 = 50%%; generous on purpose)")
+    parser.add_argument("--baseline", default=None, metavar="DIR",
+                        help="ratified-baseline dir; gated records found "
+                             "here are diffed against it instead of OLD_DIR")
     args = parser.parse_args()
+    gate_benches = {b.strip() for b in args.gate_benches.split(",")
+                    if b.strip()}
 
     old_files = load_records(args.old_dir)
     new_files = load_records(args.new_dir)
-    if not old_files:
+    baseline_files = load_records(args.baseline) if args.baseline else {}
+    if not old_files and not baseline_files:
         print(f"no BENCH_*.json in {args.old_dir}; nothing to diff against")
         return 0
     if not new_files:
@@ -101,13 +124,14 @@ def main():
         return 0
 
     regressions = improvements = steady = 0
+    gated_regressions = 0
     added = removed = 0
 
     for name in sorted(set(old_files) | set(new_files)):
-        old_records = old_files.get(name)
+        old_records = old_files.get(name, {})
         new_records = new_files.get(name)
         print(f"== {name} ==")
-        if old_records is None:
+        if name not in old_files and name not in baseline_files:
             print("  (new file — no previous run to diff against)")
             added += len(new_records)
             continue
@@ -118,22 +142,40 @@ def main():
 
         for key in sorted(set(old_records) | set(new_records)):
             label = short_key(key)
-            if key not in old_records:
+            gated = json.loads(key).get("bench") in gate_benches
+            # Gated records prefer the ratified baseline: a PR that means to
+            # shift performance checks its new numbers into the baseline dir
+            # and the gate diffs against those, not the previous CI run.
+            reference = old_records.get(key)
+            ref_name = "prev"
+            baseline_ref = baseline_files.get(name, {}).get(key)
+            if gated and baseline_ref is not None:
+                reference = baseline_ref
+                ref_name = "baseline"
+            if key not in new_records:
+                if key in old_records:
+                    print(f"  - {label} (record gone)")
+                    removed += 1
+                continue
+            if reference is None:
                 print(f"  + {label} (new record)")
                 added += 1
                 continue
-            if key not in new_records:
-                print(f"  - {label} (record gone)")
-                removed += 1
-                continue
-            for measure in sorted(set(old_records[key]) |
-                                  set(new_records[key])):
-                old = old_records[key].get(measure)
+            for measure in sorted(set(reference) | set(new_records[key])):
+                old = reference.get(measure)
                 new = new_records[key].get(measure)
                 if old is None or new is None or old == 0:
                     continue
                 rel = (new - old) / abs(old)
                 better = rel > 0 if higher_is_better(measure) else rel < 0
+                worsening = abs(rel) if not better else 0.0
+                if gated and worsening >= args.gate_threshold:
+                    gated_regressions += 1
+                    print(f"  X {label} {measure} [vs {ref_name}]: "
+                          f"{old:.6g} -> {new:.6g} ({rel:+.1%}, "
+                          f"GATED REGRESSION, limit "
+                          f"{args.gate_threshold:.0%})")
+                    continue
                 significant = abs(rel) >= args.threshold
                 if significant and better:
                     marker, verdict = "+", "improved"
@@ -149,7 +191,11 @@ def main():
 
     print(f"\nsummary: {steady} steady, {improvements} improved, "
           f"{regressions} regressed (threshold {args.threshold:.0%}), "
+          f"{gated_regressions} gated regressions "
+          f"(limit {args.gate_threshold:.0%}), "
           f"{added} added, {removed} removed")
+    if gated_regressions:
+        return 1
     if args.strict and regressions:
         return 1
     return 0

@@ -13,21 +13,6 @@
 
 namespace egi::core {
 
-namespace {
-
-// One Sequitur builder per executing thread, reused (via Reset) across the
-// N ensemble members of a run and across runs — including every streaming
-// refit. Pool workers are process-lived, so each worker's arenas and digram
-// table warm up once and then serve all subsequent grammar inductions
-// allocation-free. Safe because ParallelFor never migrates a running chunk
-// between threads, and builder reuse is bitwise-output-equivalent (tested).
-grammar::SequiturBuilder& WorkerScratchBuilder() {
-  thread_local grammar::SequiturBuilder builder;
-  return builder;
-}
-
-}  // namespace
-
 Status ValidateEnsembleParams(size_t series_length,
                               const EnsembleParams& params) {
   if (params.window_length < 2 || params.window_length > series_length) {
@@ -175,12 +160,19 @@ Result<std::vector<std::vector<double>>> ComputeMemberDensityCurves(
 
   // The N grammar-induction runs are independent; each writes only its own
   // slot, so the parallel result is bitwise-identical to the serial one.
+  // Each member leases a warm Sequitur builder from the process-wide scratch
+  // pool (grammar/sequitur.h): the pool's high-water mark is the executing
+  // concurrency, so across runs — batch calls, every streaming refit, every
+  // stream in a hub shard — the same few arenas and digram tables serve all
+  // grammar inductions allocation-free. Builder reuse is bitwise-output-
+  // equivalent to a fresh builder (tested).
   std::vector<std::vector<double>> curves(discretized.size());
   exec::ParallelFor(params.parallelism, 0, discretized.size(), /*grain=*/1,
                     [&](size_t i) {
+                      auto builder = grammar::AcquireScratchBuilder();
                       curves[i] = RunGrammarInductionOnTokens(
                                       discretized[i], params.boundary_correction,
-                                      &WorkerScratchBuilder())
+                                      builder.get())
                                       .density;
                     });
   if (artifacts != nullptr) artifacts->discretized = std::move(discretized);

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace egi::exec {
+
+/// A cache of reusable scratch objects shared across threads. Acquire()
+/// hands out an RAII lease on the most recently released instance — the one
+/// whose memory is warmest — or default-constructs a new one when the pool
+/// is empty; the lease returns the object on destruction. The pool never
+/// shrinks: its high-water mark is the peak number of simultaneous leases
+/// (bounded by the executing concurrency), not the number of logical users,
+/// which is what makes it the right shape for per-run scratch state shared
+/// across thousands of streams (see SequiturBuilder pooling in
+/// grammar/sequitur.h).
+///
+/// Leased objects are handed over in whatever state the previous holder
+/// left them; types with a cheap rewind (e.g. SequiturBuilder::Reset) should
+/// be rewound by the consumer before use. Acquire/release take one mutex
+/// each — pool users are expected to hold a lease for a whole unit of work
+/// (a grammar induction, a refit), not per inner-loop step.
+template <typename T>
+class ScratchPool {
+ public:
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& other) noexcept
+        : pool_(std::exchange(other.pool_, nullptr)),
+          obj_(std::move(other.obj_)) {}
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        Release();
+        pool_ = std::exchange(other.pool_, nullptr);
+        obj_ = std::move(other.obj_);
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { Release(); }
+
+    T* get() const { return obj_.get(); }
+    T& operator*() const { return *obj_; }
+    T* operator->() const { return obj_.get(); }
+    explicit operator bool() const { return obj_ != nullptr; }
+
+   private:
+    friend class ScratchPool;
+    Lease(ScratchPool* pool, std::unique_ptr<T> obj)
+        : pool_(pool), obj_(std::move(obj)) {}
+
+    void Release() {
+      if (obj_ != nullptr) pool_->Return(std::move(obj_));
+      pool_ = nullptr;
+    }
+
+    ScratchPool* pool_ = nullptr;
+    std::unique_ptr<T> obj_;
+  };
+
+  /// Pops the warmest idle instance, or constructs one outside the lock.
+  Lease Acquire() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!idle_.empty()) {
+        std::unique_ptr<T> obj = std::move(idle_.back());
+        idle_.pop_back();
+        return Lease(this, std::move(obj));
+      }
+    }
+    return Lease(this, std::make_unique<T>());
+  }
+
+  /// Number of instances currently idle in the pool (observability/tests).
+  size_t IdleCount() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return idle_.size();
+  }
+
+ private:
+  void Return(std::unique_ptr<T> obj) {
+    std::lock_guard<std::mutex> lock(mu_);
+    idle_.push_back(std::move(obj));
+  }
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<T>> idle_;
+};
+
+}  // namespace egi::exec

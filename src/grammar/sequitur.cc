@@ -354,4 +354,24 @@ Grammar InduceGrammar(std::span<const int32_t> tokens) {
   return builder.Build();
 }
 
+namespace {
+
+// Function-local so the pool is constructed on first use and never races
+// static-initialization order; intentionally leaked at exit along with any
+// idle builders (they hold only arena memory).
+exec::ScratchPool<SequiturBuilder>& ScratchBuilderPool() {
+  static auto* pool = new exec::ScratchPool<SequiturBuilder>();
+  return *pool;
+}
+
+}  // namespace
+
+SequiturBuilderLease AcquireScratchBuilder() {
+  return ScratchBuilderPool().Acquire();
+}
+
+size_t ScratchBuilderPoolIdleCount() {
+  return ScratchBuilderPool().IdleCount();
+}
+
 }  // namespace egi::grammar

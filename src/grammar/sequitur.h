@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "exec/scratch_pool.h"
 #include "grammar/grammar.h"
 
 namespace egi::grammar {
@@ -60,5 +61,21 @@ class SequiturBuilder {
 
 /// Convenience one-shot induction.
 Grammar InduceGrammar(std::span<const int32_t> tokens);
+
+/// RAII lease on a pooled SequiturBuilder (see AcquireScratchBuilder).
+using SequiturBuilderLease = exec::ScratchPool<SequiturBuilder>::Lease;
+
+/// Leases a builder from the process-wide scratch pool. The pool replaces
+/// per-thread builders: leases move freely across threads and runs, so one
+/// warm arena serves the ensemble's N members, every streaming refit, and
+/// every stream in a StreamEngine/StreamHub shard — whichever worker happens
+/// to need it next. The leased builder arrives in its previous holder's
+/// end state; call Reset() before appending (RunGrammarInductionOnTokens
+/// does). Returned to the pool when the lease dies; a leased-reset builder
+/// is bitwise-output-equivalent to a fresh one (tested).
+SequiturBuilderLease AcquireScratchBuilder();
+
+/// Builders currently idle in the scratch pool (observability/tests).
+size_t ScratchBuilderPoolIdleCount();
 
 }  // namespace egi::grammar

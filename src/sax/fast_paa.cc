@@ -1,33 +1,25 @@
 #include "sax/fast_paa.h"
 
-#include <algorithm>
-
+#include "sax/simd/kernels.h"
 #include "util/check.h"
 
 namespace egi::sax {
 
 void FastPaa::Compute(size_t start, size_t n, int w,
                       std::span<double> out) const {
+  EGI_CHECK(out.size() == static_cast<size_t>(w));
+  ComputeBlock(start, 1, n, w, out);
+}
+
+void FastPaa::ComputeBlock(size_t start, size_t count, size_t n, int w,
+                           std::span<double> out) const {
   EGI_CHECK(w >= 1 && static_cast<size_t>(w) <= n)
       << "PAA size " << w << " invalid for window length " << n;
-  EGI_CHECK(out.size() == static_cast<size_t>(w));
-  EGI_CHECK(start + n <= stats_->size()) << "window out of bounds";
-
-  const double mu = stats_->RangeMean(start, n);
-  const double sigma = stats_->RangeStdDev(start, n);
-  if (sigma < norm_threshold_) {
-    std::fill(out.begin(), out.end(), 0.0);
-    return;
-  }
-
-  const double seg = static_cast<double>(n) / static_cast<double>(w);
-  const double base = static_cast<double>(start);
-  for (int i = 0; i < w; ++i) {
-    const double from = base + seg * static_cast<double>(i);
-    const double to = base + seg * static_cast<double>(i + 1);
-    const double avg = stats_->FractionalRangeSum(from, to) / seg;
-    out[static_cast<size_t>(i)] = (avg - mu) / sigma;
-  }
+  EGI_CHECK(out.size() == count * static_cast<size_t>(w));
+  EGI_CHECK(count >= 1 && start + count - 1 + n <= stats_->size())
+      << "window block out of bounds";
+  simd::ActiveKernels().paa_block(*stats_, norm_threshold_, start, count, n, w,
+                                  out.data());
 }
 
 }  // namespace egi::sax

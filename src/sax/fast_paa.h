@@ -26,6 +26,14 @@ class FastPaa {
   /// all coefficients are zero. Requires 1 <= w <= n and the range in bounds.
   void Compute(size_t start, size_t n, int w, std::span<double> out) const;
 
+  /// Batch form: coefficients for `count` consecutive window start positions
+  /// [start, start + count), written row-major by position into `out`
+  /// (count * w doubles). Routes through the runtime-dispatched encode
+  /// kernels (sax/simd/) — AVX2 where available, scalar otherwise — with
+  /// bitwise-identical rows either way; row p equals Compute(start + p, ...).
+  void ComputeBlock(size_t start, size_t count, size_t n, int w,
+                    std::span<double> out) const;
+
   double norm_threshold() const { return norm_threshold_; }
 
  private:

@@ -4,6 +4,7 @@
 #include <numeric>
 #include <string>
 
+#include "sax/simd/kernels.h"
 #include "sax/word_code.h"
 #include "util/check.h"
 
@@ -64,9 +65,18 @@ Result<std::vector<DiscretizedSeries>> MultiResSaxEncoder::EncodeAll(
 
   const FastPaa fast_paa(&stats_, norm_threshold_);
   const size_t positions = stats_.size() - window_length_ + 1;
+  const std::span<const double> merged = summary_.merged_breakpoints();
+
+  // Positions are processed in blocks so the PAA and breakpoint-resolution
+  // kernels (sax/simd/, runtime-dispatched AVX2 with a scalar fallback) get
+  // full vector lanes: one paa_block call fills a block * w coefficient
+  // matrix, one intervals call resolves every coefficient in it against the
+  // merged breakpoint axis. Block size trades kernel-call overhead against
+  // scratch footprint; 128 rows keep the buffers comfortably in L1/L2.
+  constexpr size_t kBlockPositions = 128;
 
   std::vector<double> coeffs;
-  std::vector<size_t> intervals;
+  std::vector<uint32_t> intervals;
   std::vector<WordCode> last_codes(params.size());
 
   for (size_t g = 0; g < order.size();) {
@@ -75,29 +85,35 @@ Result<std::vector<DiscretizedSeries>> MultiResSaxEncoder::EncodeAll(
     while (g_end < order.size() && params[order[g_end]].paa_size == w) ++g_end;
 
     const auto uw = static_cast<size_t>(w);
-    coeffs.resize(uw);
-    intervals.resize(uw);
+    coeffs.resize(kBlockPositions * uw);
+    intervals.resize(kBlockPositions * uw);
 
-    for (size_t pos = 0; pos < positions; ++pos) {
-      fast_paa.Compute(pos, window_length_, w, coeffs);
-      // One binary search per coefficient resolves all alphabet sizes.
-      for (size_t i = 0; i < uw; ++i)
-        intervals[i] = summary_.IntervalForValue(coeffs[i]);
+    for (size_t block = 0; block < positions; block += kBlockPositions) {
+      const size_t block_count = std::min(kBlockPositions, positions - block);
+      fast_paa.ComputeBlock(block, block_count, window_length_, w,
+                            std::span<double>(coeffs.data(), block_count * uw));
+      simd::ActiveKernels().intervals(coeffs.data(), block_count * uw,
+                                      merged.data(), merged.size(),
+                                      intervals.data());
 
-      for (size_t k = g; k < g_end; ++k) {
-        const size_t ri = order[k];
-        const int a = params[ri].alphabet_size;
-        const WordCodec& codec = codecs[ri];
-        WordCode code;
-        for (size_t i = 0; i < uw; ++i)
-          codec.AppendSymbol(code, summary_.SymbolOfInterval(intervals[i], a));
-        if (numerosity_reduction_ && !results[ri].seq.tokens.empty() &&
-            code == last_codes[ri]) {
-          continue;
+      for (size_t b = 0; b < block_count; ++b) {
+        const size_t pos = block + b;
+        const uint32_t* row = intervals.data() + b * uw;
+        for (size_t k = g; k < g_end; ++k) {
+          const size_t ri = order[k];
+          const int a = params[ri].alphabet_size;
+          const WordCodec& codec = codecs[ri];
+          WordCode code;
+          for (size_t i = 0; i < uw; ++i)
+            codec.AppendSymbol(code, summary_.SymbolOfInterval(row[i], a));
+          if (numerosity_reduction_ && !results[ri].seq.tokens.empty() &&
+              code == last_codes[ri]) {
+            continue;
+          }
+          results[ri].seq.tokens.push_back(results[ri].table.Intern(code));
+          results[ri].seq.offsets.push_back(pos);
+          last_codes[ri] = code;
         }
-        results[ri].seq.tokens.push_back(results[ri].table.Intern(code));
-        results[ri].seq.offsets.push_back(pos);
-        last_codes[ri] = code;
       }
     }
     g = g_end;

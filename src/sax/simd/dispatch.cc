@@ -1,0 +1,39 @@
+#include <atomic>
+
+#include "sax/simd/kernels.h"
+#include "util/env.h"
+
+namespace egi::sax::simd {
+
+namespace {
+
+const KernelSet* Resolve() {
+  // EGI_FORCE_SCALAR pins the portable path: the CI fallback-coverage leg
+  // runs the whole test suite under it, and the equivalence harness uses
+  // the same switch to compare paths in one process.
+  if (GetEnvBool("EGI_FORCE_SCALAR", false)) return &ScalarKernels();
+  if (const KernelSet* avx2 = Avx2KernelsOrNull()) return avx2;
+  return &ScalarKernels();
+}
+
+std::atomic<const KernelSet*> g_active{nullptr};
+
+}  // namespace
+
+const KernelSet& ActiveKernels() {
+  const KernelSet* k = g_active.load(std::memory_order_acquire);
+  if (k == nullptr) {
+    // Resolve() is idempotent, so a racing first call is harmless.
+    k = Resolve();
+    g_active.store(k, std::memory_order_release);
+  }
+  return *k;
+}
+
+const char* ActiveKernelName() { return ActiveKernels().name; }
+
+void SetKernelsForTest(const KernelSet* kernels) {
+  g_active.store(kernels, std::memory_order_release);
+}
+
+}  // namespace egi::sax::simd

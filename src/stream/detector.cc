@@ -7,6 +7,7 @@
 
 #include "sax/breakpoints.h"
 #include "sax/paa.h"
+#include "sax/simd/kernels.h"
 #include "ts/stats.h"
 #include "util/check.h"
 
@@ -171,11 +172,19 @@ double StreamDetector::ProvisionalScore() {
     // accumulated straight into a packed word code.
     paa_coeffs_.resize(static_cast<size_t>(model.paa_size));
     sax::Paa(normalized_window_, model.paa_size, paa_coeffs_);
+    // One batched breakpoint resolution over all w coefficients via the
+    // runtime-dispatched kernels (sax/simd/) — same upper_bound semantics
+    // as sax::SymbolForValue, symbol-for-symbol (tested incl. NaN/±inf and
+    // values exactly on a breakpoint).
+    symbol_scratch_.resize(paa_coeffs_.size());
+    sax::simd::ActiveKernels().intervals(paa_coeffs_.data(), paa_coeffs_.size(),
+                                    model.breakpoints.data(),
+                                    model.breakpoints.size(),
+                                    symbol_scratch_.data());
     const sax::WordCodec& codec = model.table.codec();
     sax::WordCode code;
     for (size_t i = 0; i < paa_coeffs_.size(); ++i) {
-      codec.AppendSymbol(
-          code, sax::SymbolForValue(paa_coeffs_[i], model.breakpoints));
+      codec.AppendSymbol(code, static_cast<int>(symbol_scratch_[i]));
     }
     double s = 0.0;
     if (model.max_count > 0.0) {

@@ -172,6 +172,7 @@ class StreamDetector {
   std::vector<double> scratch_window_;     // last window copy
   std::vector<double> normalized_window_;  // z-normalized once per point
   std::vector<double> paa_coeffs_;         // per-member PAA output
+  std::vector<uint32_t> symbol_scratch_;   // per-member breakpoint intervals
   std::vector<double> member_scores_;      // per-member scores for combining
 };
 

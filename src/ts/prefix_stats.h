@@ -43,6 +43,20 @@ class PrefixStats {
   /// with non-integer boundaries are built on this. O(1).
   double FractionalRangeSum(double from, double to) const;
 
+  // Raw internal arrays, exposed for the vectorized encode kernels
+  // (sax/simd/): the kernels replicate the exact scalar arithmetic of
+  // RangeMean / RangeStdDev / FractionalRangeSum lane-wise, so they need
+  // direct access to the same memory those functions read.
+
+  /// Centered values (series minus center()), size() entries.
+  const double* centered_data() const { return series_.data(); }
+  /// Prefix sums of centered values, size() + 1 entries.
+  const double* prefix_sums() const { return sum_.data(); }
+  /// Prefix sums of squared centered values, size() + 1 entries.
+  const double* prefix_sumsq() const { return sumsq_.data(); }
+  /// Global mean subtracted before accumulation.
+  double center() const { return center_; }
+
  private:
   double center_ = 0.0;         // global mean, subtracted before accumulation
   std::vector<double> series_;  // centered values (for fractional boundaries)

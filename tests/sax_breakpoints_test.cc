@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
+#include <vector>
 
 #include "sax/breakpoints.h"
 #include "sax/normal_quantile.h"
+#include "sax/simd/kernels.h"
 #include "util/rng.h"
 
 namespace egi::sax {
@@ -151,6 +155,94 @@ TEST_P(SummaryConsistencyTest, MatchesDirectLookup) {
 
 INSTANTIATE_TEST_SUITE_P(Amax, SummaryConsistencyTest,
                          ::testing::Values(2, 3, 4, 5, 8, 10, 15, 20, 32));
+
+// ----------------------------------------------------- interval kernels
+//
+// The batched breakpoint-resolution kernels (sax/simd/) must agree with
+// std::upper_bound — i.e. with SymbolForValue — value-for-value, including
+// the boundary cases that distinguish a branchless comparison count from a
+// binary search: values exactly on a breakpoint, +/-inf, and NaN. Pinned
+// here for both the scalar kernel and (where the CPU has it) the AVX2 one,
+// so the dispatch never changes a symbol.
+
+std::vector<const simd::KernelSet*> AllKernels() {
+  std::vector<const simd::KernelSet*> kernels = {&simd::ScalarKernels()};
+  if (const simd::KernelSet* avx2 = simd::Avx2KernelsOrNull()) {
+    kernels.push_back(avx2);
+  }
+  return kernels;
+}
+
+TEST(IntervalKernelBoundaryTest, MatchesUpperBoundForAllAlphabets) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (int a = 2; a <= kMaxAlphabetSize; ++a) {
+    const auto bps = GaussianBreakpoints(a);
+
+    // Exact breakpoints, their one-ulp neighbors, region interiors, and the
+    // non-finite values a provisional scorer could feed through.
+    std::vector<double> values = {-inf, inf, nan, -nan, 0.0, -0.0, -100.0,
+                                  100.0};
+    for (const double b : bps) {
+      values.push_back(b);
+      values.push_back(std::nextafter(b, -inf));
+      values.push_back(std::nextafter(b, inf));
+    }
+
+    std::vector<uint32_t> out(values.size());
+    for (const simd::KernelSet* kernels : AllKernels()) {
+      kernels->intervals(values.data(), values.size(), bps.data(), bps.size(),
+                         out.data());
+      for (size_t i = 0; i < values.size(); ++i) {
+        const auto expected = static_cast<uint32_t>(
+            std::upper_bound(bps.begin(), bps.end(), values[i]) - bps.begin());
+        EXPECT_EQ(out[i], expected)
+            << kernels->name << " a=" << a << " v=" << values[i];
+        if (!std::isnan(values[i])) {
+          EXPECT_EQ(static_cast<int>(out[i]), SymbolForValue(values[i], bps))
+              << kernels->name << " a=" << a << " v=" << values[i];
+        }
+      }
+    }
+  }
+}
+
+TEST(IntervalKernelBoundaryTest, NonFiniteConventions) {
+  // NaN and +inf land past every breakpoint (upper_bound convention for a
+  // sorted finite axis); -inf lands before all of them. This is what makes
+  // the branchless comparison count safe on un-sanitized inputs.
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const auto bps = GaussianBreakpoints(8);
+  const std::vector<double> values = {nan, inf, -inf};
+  std::vector<uint32_t> out(values.size());
+  for (const simd::KernelSet* kernels : AllKernels()) {
+    kernels->intervals(values.data(), values.size(), bps.data(), bps.size(),
+                       out.data());
+    EXPECT_EQ(out[0], bps.size()) << kernels->name;
+    EXPECT_EQ(out[1], bps.size()) << kernels->name;
+    EXPECT_EQ(out[2], 0u) << kernels->name;
+  }
+}
+
+TEST(IntervalKernelBoundaryTest, RemainderTailMatchesScalar) {
+  // Lengths 0..9 cover every SIMD remainder case (the AVX2 kernel works in
+  // groups of 4 and finishes the tail in scalar code).
+  const auto bps = GaussianBreakpoints(16);
+  Rng rng(4242);
+  for (size_t len = 0; len <= 9; ++len) {
+    std::vector<double> values(len);
+    for (double& v : values) v = rng.Gaussian() * 1.5;
+    std::vector<uint32_t> scalar_out(len), out(len);
+    simd::ScalarKernels().intervals(values.data(), len, bps.data(), bps.size(),
+                                    scalar_out.data());
+    for (const simd::KernelSet* kernels : AllKernels()) {
+      kernels->intervals(values.data(), len, bps.data(), bps.size(),
+                         out.data());
+      EXPECT_EQ(out, scalar_out) << kernels->name << " len=" << len;
+    }
+  }
+}
 
 }  // namespace
 }  // namespace egi::sax
