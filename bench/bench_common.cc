@@ -1,15 +1,17 @@
 #include "bench_common.h"
 
-#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <ostream>
 
 #include "core/detector.h"
 #include "egi/registry.h"
+#include "egi/session.h"
 #include "eval/metrics.h"
 #include "exec/parallel.h"
 #include "util/env.h"
+#include "util/json.h"
 
 namespace egi::bench {
 
@@ -28,12 +30,54 @@ BenchSettings SettingsFromEnv() {
   return s;
 }
 
+namespace {
+
+std::string g_metrics_path;  // empty = no metrics dump requested
+
+// atexit, not a scope guard: benches exit from main with plain `return 0`,
+// and the dump must capture everything the whole run recorded.
+void WriteMetricsAtExit() {
+  if (g_metrics_path.empty()) return;
+  std::FILE* f = std::fopen(g_metrics_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write metrics to %s\n",
+                 g_metrics_path.c_str());
+    return;
+  }
+  const std::string json = Session::MetricsJson();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+}
+
+void EnableMetricsDump(std::string path) {
+  const bool first = g_metrics_path.empty();
+  g_metrics_path = std::move(path);
+  if (first) std::atexit(WriteMetricsAtExit);
+}
+
+}  // namespace
+
 bool HandleStandardFlags(int argc, char** argv) {
+  constexpr const char kMetricsFlag[] = "--metrics-json";
+  constexpr size_t kMetricsFlagLen = sizeof(kMetricsFlag) - 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--list-methods") == 0) {
       std::fputs(FormatDetectorList().c_str(), stdout);
       return true;
     }
+    if (std::strncmp(argv[i], kMetricsFlag, kMetricsFlagLen) == 0) {
+      const char* rest = argv[i] + kMetricsFlagLen;
+      if (*rest == '\0') {
+        EnableMetricsDump("BENCH_metrics.json");
+      } else if (*rest == '=') {
+        EnableMetricsDump(rest + 1);
+      }
+    }
+  }
+  if (g_metrics_path.empty()) {
+    const std::string env_path = GetEnvString("EGI_METRICS_JSON", "");
+    if (!env_path.empty()) EnableMetricsDump(env_path);
   }
   return false;
 }
@@ -123,53 +167,19 @@ bool JsonOutputEnabled(int argc, char** argv) {
   return GetEnvBool("EGI_BENCH_JSON", false);
 }
 
-namespace {
-
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (const char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-}  // namespace
-
 JsonRecord::JsonRecord(const std::string& bench) {
-  AddRaw("bench", '"' + JsonEscape(bench) + '"');
+  AddRaw("bench", JsonQuote(bench));
 }
 
 JsonRecord& JsonRecord::AddRaw(const std::string& key,
                                const std::string& raw) {
   if (!body_.empty()) body_ += ',';
-  body_ += '"' + JsonEscape(key) + "\":" + raw;
+  body_ += JsonQuote(key) + ':' + raw;
   return *this;
 }
 
 JsonRecord& JsonRecord::Add(const std::string& key, const std::string& value) {
-  return AddRaw(key, '"' + JsonEscape(value) + '"');
+  return AddRaw(key, JsonQuote(value));
 }
 
 JsonRecord& JsonRecord::Add(const std::string& key, const char* value) {
@@ -177,10 +187,7 @@ JsonRecord& JsonRecord::Add(const std::string& key, const char* value) {
 }
 
 JsonRecord& JsonRecord::Add(const std::string& key, double value) {
-  if (!std::isfinite(value)) return AddRaw(key, "null");
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.17g", value);
-  return AddRaw(key, buf);
+  return AddRaw(key, JsonNumber(value));
 }
 
 JsonRecord& JsonRecord::Add(const std::string& key, int64_t value) {

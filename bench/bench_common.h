@@ -33,6 +33,11 @@ BenchSettings SettingsFromEnv();
 /// `--list-methods` prints the public detector registry — one line per
 /// detector, deterministic order, with its option schema — and returns
 /// true, meaning the caller should exit(0) immediately.
+/// `--metrics-json[=PATH]` (or EGI_METRICS_JSON=PATH) registers an atexit
+/// dump of Session::MetricsJson() — the process-wide telemetry registry:
+/// counters, gauges, latency histograms, journal tail — to PATH (default
+/// BENCH_metrics.json) as a single JSON object; the bench keeps running
+/// (returns false).
 bool HandleStandardFlags(int argc, char** argv);
 
 /// Prints the standard preamble (what the binary reproduces, settings,

@@ -33,6 +33,13 @@ have a ratified counterpart there (same file name + identity) are compared
 against the baseline instead of OLD_DIR, so a PR that intentionally shifts
 performance ratifies the new numbers by updating bench/baselines/ in the
 same change (see bench/baselines/README.md).
+
+Telemetry: BENCH_metrics.json (one JSON object — the --metrics-json dump of
+the telemetry registry, not a JSON-lines record file) is excluded from the
+record diff above. Instead, a report-only section diffs a fixed set of
+telemetry counters and gauges (refit count, snapshot bytes, ...) across the
+two runs. It never gates: these are workload-shape observations ("this PR
+doubled the refit count"), not performance measures.
 """
 
 import argparse
@@ -43,6 +50,20 @@ import re
 import sys
 
 MEASURE_RE = re.compile(r"(^seconds$|_seconds$|_per_sec$|^speedup$)")
+
+# The telemetry registry dump (a single JSON object, written by the bench
+# binaries' --metrics-json flag / EGI_METRICS_JSON).
+METRICS_FILE = "BENCH_metrics.json"
+
+# Telemetry quantities worth eyeballing across runs. Report-only — a change
+# here flags a workload-shape shift for the PR author, it never exits 1.
+TELEMETRY_COUNTERS = (
+    "stream.refits",
+    "stream.points",
+    "ensemble.runs",
+    "exec.scratch_created",
+)
+TELEMETRY_GAUGES = ("stream.snapshot_bytes",)
 
 
 def is_measure(key, value):
@@ -59,6 +80,8 @@ def load_records(directory):
     out = {}
     for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
         name = os.path.basename(path)
+        if name == METRICS_FILE:
+            continue  # single-object telemetry dump, not a record file
         records = {}
         with open(path, encoding="utf-8") as fh:
             for line_no, line in enumerate(fh, 1):
@@ -81,6 +104,45 @@ def load_records(directory):
                 records[key] = measures
         out[name] = records
     return out
+
+
+def load_metrics(directory):
+    """The parsed BENCH_metrics.json of a run dir, or None."""
+    path = os.path.join(directory, METRICS_FILE)
+    if not os.path.isfile(path):
+        return None
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)
+    except (json.JSONDecodeError, OSError) as err:
+        print(f"warning: {path}: unparseable ({err})", file=sys.stderr)
+        return None
+
+
+def report_telemetry(old_dir, new_dir):
+    """Report-only diff of selected telemetry counters/gauges."""
+    new = load_metrics(new_dir)
+    if new is None:
+        return
+    old = load_metrics(old_dir) or {}
+    print(f"== {METRICS_FILE} (telemetry, report-only) ==")
+    for section, keys in (("counters", TELEMETRY_COUNTERS),
+                          ("gauges", TELEMETRY_GAUGES)):
+        for key in keys:
+            new_v = new.get(section, {}).get(key)
+            old_v = old.get(section, {}).get(key)
+            if new_v is None and old_v is None:
+                continue
+            if old_v is None:
+                print(f"    {key}: {new_v} (no previous value)")
+            elif new_v is None:
+                print(f"    {key}: gone (was {old_v})")
+            elif old_v == new_v:
+                print(f"    {key}: {new_v} (unchanged)")
+            else:
+                rel = f" ({(new_v - old_v) / abs(old_v):+.1%})" if old_v else ""
+                print(f"    {key}: {old_v} -> {new_v}{rel}")
+    print()
 
 
 def short_key(key_json):
@@ -112,6 +174,8 @@ def main():
     args = parser.parse_args()
     gate_benches = {b.strip() for b in args.gate_benches.split(",")
                     if b.strip()}
+
+    report_telemetry(args.old_dir, args.new_dir)
 
     old_files = load_records(args.old_dir)
     new_files = load_records(args.new_dir)

@@ -22,5 +22,6 @@
 #include "egi/session.h"
 #include "egi/spec.h"
 #include "egi/status.h"
+#include "egi/telemetry.h"
 #include "egi/types.h"
 #include "egi/version.h"

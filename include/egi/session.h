@@ -208,6 +208,15 @@ class Session {
   /// OpenStream).
   Result<StreamHub> OpenHub(const StreamOptions& options) const;
 
+  /// One JSON document with every process-wide telemetry metric: folded
+  /// counters and gauges, latency histogram summaries (count, mean,
+  /// min/max, p50/p90/p99), and the tail of the structured event journal.
+  /// Equivalent to telemetry::Registry::Global().ToJson(); see
+  /// egi/telemetry.h for the full registry API and DESIGN.md "Telemetry"
+  /// for the schema. With EGI_TELEMETRY=0 the document is just
+  /// {"enabled":false,...} with empty sections.
+  static std::string MetricsJson();
+
  private:
   struct Impl;
   explicit Session(std::unique_ptr<Impl> impl);

@@ -1,0 +1,404 @@
+#pragma once
+
+// Part of the installed public API (see DESIGN.md, "Telemetry"). In-process
+// metrics and a structured event journal for operating the library at
+// serving scale: named counters and gauges, log-bucketed latency histograms
+// with RAII timers, and an append-only event journal with pluggable sinks.
+//
+//   auto& reg = egi::telemetry::Registry::Global();
+//   static auto* points = reg.GetCounter("stream.points");
+//   points->Add(batch.size());
+//   ...
+//   std::string json = egi::Session::MetricsJson();  // everything, one blob
+//
+// Design constraints (all enforced by tests):
+//  - Hot-path increments are one relaxed atomic add into a per-thread shard
+//    cell (threads hash onto kShards cacheline-sized cells, so the exec
+//    pool's workers never contend on a counter); folds sum the shards.
+//  - Histogram bucket boundaries are a fixed log-linear layout — merging
+//    two snapshots is elementwise addition, associative and commutative,
+//    and a fold over per-thread shards equals the single-thread histogram.
+//  - Telemetry NEVER feeds back into detection: scores and detections are
+//    bitwise-identical with telemetry enabled or disabled.
+//  - EGI_TELEMETRY=0 in the environment disables the whole subsystem at
+//    process start: recording degenerates to one predicted branch, timers
+//    never read the clock, and the journal appends to nothing.
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace egi::telemetry {
+
+/// Number of per-thread cells a counter or histogram is sharded over.
+/// Threads map onto shards by a process-wide slot id assigned at first use
+/// (the exec pool's long-lived workers therefore keep stable, distinct
+/// cells); a power of two so the map is a mask, not a division.
+inline constexpr size_t kShards = 16;
+
+namespace internal {
+
+inline std::atomic<uint32_t> g_next_thread_slot{0};
+
+/// Process-wide slot of the calling thread, assigned once on first use.
+inline uint32_t ThreadSlot() {
+  thread_local const uint32_t slot =
+      g_next_thread_slot.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+inline size_t Shard() { return ThreadSlot() & (kShards - 1); }
+
+/// One cacheline-sized counter cell, so shards never false-share.
+struct alignas(64) CounterCell {
+  std::atomic<uint64_t> value{0};
+};
+
+}  // namespace internal
+
+// ------------------------------------------------------------------ metrics
+
+/// Monotonic counter. Add is a relaxed atomic add into the calling thread's
+/// shard; Value folds the shards (exact when writers are quiescent, a
+/// point-in-time approximation while they race — fine for metrics).
+class Counter {
+ public:
+  void Add(uint64_t n = 1) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    cells_[internal::Shard()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const auto& cell : cells_) {
+      total += cell.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class Registry;
+  Counter(std::string name, const std::atomic<bool>* enabled)
+      : name_(std::move(name)), enabled_(enabled) {}
+
+  std::string name_;
+  const std::atomic<bool>* enabled_;
+  std::array<internal::CounterCell, kShards> cells_;
+};
+
+/// Last-value / level metric (queue depth, snapshot bytes). Set/Add are
+/// single relaxed atomic ops — gauges are written at event granularity, not
+/// per point, so they are not sharded.
+class Gauge {
+ public:
+  void Set(int64_t v) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void Add(int64_t delta) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class Registry;
+  Gauge(std::string name, const std::atomic<bool>* enabled)
+      : name_(std::move(name)), enabled_(enabled) {}
+
+  std::string name_;
+  const std::atomic<bool>* enabled_;
+  std::atomic<int64_t> value_{0};
+};
+
+/// Merged, immutable view of a Histogram (or of several, via Merge). A
+/// plain value type: property tests build and combine these directly.
+struct HistogramSnapshot {
+  /// Fixed log-linear bucket layout over nanoseconds: values 0-3 get exact
+  /// buckets 0-3; each power of two [2^e, 2^(e+1)) for e in [2, 35] splits
+  /// into 4 linear sub-buckets (buckets 4-139, covering up to ~68.7 s);
+  /// everything >= 2^36 ns lands in the overflow bucket. The layout is a
+  /// compile-time constant — never derived from the data — which is what
+  /// makes merges associative/commutative and snapshots stable.
+  static constexpr size_t kNumBuckets = 141;
+  static constexpr size_t kOverflowBucket = kNumBuckets - 1;
+  static constexpr uint64_t kMaxTrackableNanos = (uint64_t{1} << 36) - 1;
+
+  uint64_t count = 0;
+  uint64_t sum_nanos = 0;
+  uint64_t min_nanos = UINT64_MAX;  ///< UINT64_MAX when count == 0
+  uint64_t max_nanos = 0;
+  std::array<uint64_t, kNumBuckets> buckets{};
+
+  /// Bucket of a recorded value (see the layout comment above).
+  static size_t BucketIndex(uint64_t nanos);
+  /// Inclusive lower bound of bucket `index`.
+  static uint64_t BucketLowerBound(size_t index);
+  /// Exclusive upper bound of bucket `index` (the overflow bucket reports
+  /// UINT64_MAX).
+  static uint64_t BucketUpperBound(size_t index);
+
+  /// Elementwise accumulation of `other` into this snapshot.
+  void Merge(const HistogramSnapshot& other);
+
+  /// Quantile estimate in seconds for q in [0, 1]: rank-walks the buckets
+  /// and interpolates linearly within the landing bucket, clamped to the
+  /// exact observed [min, max]. Returns 0 when empty.
+  double Quantile(double q) const;
+
+  double MeanSeconds() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum_nanos) * 1e-9 /
+                            static_cast<double>(count);
+  }
+
+  bool operator==(const HistogramSnapshot&) const = default;
+};
+
+/// Log-bucketed latency histogram, sharded like Counter: Record is two
+/// relaxed adds (bucket + sum) into the calling thread's shard; Snapshot
+/// folds the shards into a HistogramSnapshot.
+class Histogram {
+ public:
+  void Record(uint64_t nanos) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    RecordAlways(nanos);
+  }
+
+  /// Seconds-typed convenience; NaN and negative values are dropped, +inf
+  /// (and anything beyond the trackable range) lands in the overflow
+  /// bucket.
+  void RecordSeconds(double seconds) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    if (!(seconds >= 0.0)) return;  // NaN / negative
+    const double nanos = seconds * 1e9;
+    RecordAlways(nanos >= 1.8e19 ? UINT64_MAX
+                                 : static_cast<uint64_t>(nanos));
+  }
+
+  bool enabled() const { return enabled_->load(std::memory_order_relaxed); }
+
+  HistogramSnapshot Snapshot() const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class Registry;
+
+  struct alignas(64) Shard {
+    std::array<std::atomic<uint64_t>, HistogramSnapshot::kNumBuckets> buckets;
+    std::atomic<uint64_t> count;
+    std::atomic<uint64_t> sum_nanos;
+  };
+
+  Histogram(std::string name, const std::atomic<bool>* enabled);
+
+  void RecordAlways(uint64_t nanos);
+
+  std::string name_;
+  const std::atomic<bool>* enabled_;
+  std::unique_ptr<Shard[]> shards_;  // kShards of them
+  std::atomic<uint64_t> min_nanos_{UINT64_MAX};
+  std::atomic<uint64_t> max_nanos_{0};
+};
+
+/// RAII latency probe: records the elapsed wall time into `histogram` on
+/// destruction. When telemetry is disabled (or the histogram is null) the
+/// clock is never read.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram)
+      : histogram_(histogram != nullptr && histogram->enabled() ? histogram
+                                                                : nullptr) {
+    if (histogram_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (histogram_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    histogram_->Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count()));
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+// ------------------------------------------------------------------ journal
+
+/// One structured journal entry: a sequence number, wall-clock stamp, event
+/// name ("refit.adopted", "checkpoint.save", ...), and flat string fields.
+struct Event {
+  uint64_t seq = 0;
+  double unix_seconds = 0.0;
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> fields;
+
+  /// The event as one JSON object (shared rendering with MetricsJson).
+  std::string ToJson() const;
+};
+
+/// Receives every journal event, in emit order, under the journal's lock
+/// (implementations need no further synchronization).
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void Append(const Event& event) = 0;
+};
+
+/// Bounded in-memory sink keeping the most recent `capacity` events — the
+/// default sink, the MetricsJson "events" tail, and the test observer.
+class RingSink : public EventSink {
+ public:
+  explicit RingSink(size_t capacity);
+  void Append(const Event& event) override;
+
+  /// The retained events, oldest first.
+  std::vector<Event> Tail() const;
+
+  /// Drops every retained event (Registry::ResetForTest plumbing).
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  size_t capacity_;
+  size_t next_ = 0;
+  std::vector<Event> ring_;  // filled circularly once at capacity
+};
+
+/// Appends each event as one JSON line to a file (opened in append mode,
+/// flushed per event — events are rare by design). Construction failure is
+/// reported by ok(); a failed sink swallows events rather than erroring the
+/// instrumented code path.
+class JsonLinesFileSink : public EventSink {
+ public:
+  explicit JsonLinesFileSink(const std::string& path);
+  ~JsonLinesFileSink() override;
+  void Append(const Event& event) override;
+
+  bool ok() const { return file_ != nullptr; }
+
+ private:
+  void* file_;  // FILE*, kept out of the public header
+};
+
+/// The structured event journal: stamps and sequences each emitted event
+/// and fans it out to every installed sink. Emission takes one mutex —
+/// journal events are state transitions (refit adopted, checkpoint saved),
+/// never per-point work. When telemetry is disabled Emit is one branch.
+class Journal {
+ public:
+  using Field = std::pair<std::string_view, std::string>;
+
+  void Emit(std::string_view name, std::initializer_list<Field> fields);
+
+  /// Installs an additional sink (the registry installs a RingSink by
+  /// default so the MetricsJson tail always works).
+  void AddSink(std::shared_ptr<EventSink> sink);
+
+  uint64_t emitted() const { return seq_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class Registry;
+  explicit Journal(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+
+  const std::atomic<bool>* enabled_;
+  std::atomic<uint64_t> seq_{0};
+  std::mutex mu_;
+  std::vector<std::shared_ptr<EventSink>> sinks_;
+};
+
+// ----------------------------------------------------------------- registry
+
+/// Folded point-in-time view of a Registry (deterministic given quiescent
+/// writers). Entries are sorted by name.
+struct MetricsSnapshot {
+  bool enabled = false;
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+  std::vector<Event> events;  ///< journal tail, oldest first
+};
+
+/// Owner of all named metrics and the journal. Get* returns a stable
+/// pointer, creating the metric on first use (instrumentation sites cache
+/// it in a function-local static). Almost all code uses the process-wide
+/// Global() instance; dedicated instances are for tests.
+class Registry {
+ public:
+  /// A registry with `enabled` as its initial state (Global() latches
+  /// EGI_TELEMETRY from the environment instead).
+  explicit Registry(bool enabled);
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Process-wide registry. Created on first use: enabled unless
+  /// EGI_TELEMETRY=0, with a 256-event RingSink installed, plus a
+  /// JsonLinesFileSink when EGI_TELEMETRY_JSONL names a path. Intentionally
+  /// leaked (instrumented code may run during static destruction).
+  static Registry& Global();
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+  Journal& journal() { return journal_; }
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Flips recording at runtime. Exists for the on/off equivalence tests
+  /// and embedders; production code uses the EGI_TELEMETRY latch.
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  /// Folds every metric and the journal ring tail into one snapshot.
+  MetricsSnapshot Snapshot() const;
+
+  /// The whole registry as one JSON object: {"enabled":..., "counters":
+  /// {...}, "gauges": {...}, "histograms": {name: {count, sum_seconds,
+  /// min/max, mean, p50/p90/p99}}, "events": [...]}. Always valid JSON —
+  /// names and field values are escaped. egi::Session::MetricsJson() is
+  /// the public-facade spelling of Global().ToJson().
+  std::string ToJson() const;
+
+  /// Zeroes every metric and clears the journal ring (sinks stay
+  /// installed). Test isolation only — never thread-safe against writers.
+  void ResetForTest();
+
+ private:
+  template <typename T>
+  T* GetOrCreate(std::vector<std::unique_ptr<T>>& metrics,
+                 std::string_view name);
+
+  std::atomic<bool> enabled_;
+  Journal journal_;
+  std::shared_ptr<RingSink> ring_;  // the default journal tail
+  mutable std::mutex mu_;
+  // unique_ptr elements so handed-out pointers survive vector growth.
+  std::vector<std::unique_ptr<Counter>> counters_;
+  std::vector<std::unique_ptr<Gauge>> gauges_;
+  std::vector<std::unique_ptr<Histogram>> histograms_;
+};
+
+/// True when the process-wide registry records (the EGI_TELEMETRY latch /
+/// SetEnabled state).
+inline bool Enabled() { return Registry::Global().enabled(); }
+
+}  // namespace egi::telemetry

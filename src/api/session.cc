@@ -1,8 +1,12 @@
 #include "egi/session.h"
 
+#include <mutex>
+#include <string>
+#include <unordered_map>
 #include <utility>
 
 #include "api/internal.h"
+#include "egi/telemetry.h"
 #include "stream/detector.h"
 #include "stream/engine.h"
 #include "util/check.h"
@@ -10,6 +14,8 @@
 namespace egi {
 
 namespace {
+
+telemetry::Registry& Telemetry() { return telemetry::Registry::Global(); }
 
 Detection ToDetection(const core::Anomaly& a) {
   Detection d;
@@ -169,12 +175,50 @@ Session::Session(Session&&) noexcept = default;
 Session& Session::operator=(Session&&) noexcept = default;
 Session::~Session() = default;
 
-Result<Session> Session::Open(std::string_view spec) {
+namespace {
+
+// Process-wide cache of parsed spec strings. DetectorSpec::Parse is a pure
+// function of the string, so the cache can never go stale; it exists because
+// services open sessions from a handful of fixed config strings over and
+// over. Bounded so adversarial spec churn cannot grow it without limit —
+// eviction is "clear everything", which is both trivially correct and fine
+// for a cache whose steady state is a few entries.
+Result<DetectorSpec> ParseSpecCached(std::string_view spec) {
+  static auto* hits = Telemetry().GetCounter("session.spec_cache_hits");
+  static auto* misses = Telemetry().GetCounter("session.spec_cache_misses");
+  constexpr size_t kMaxCachedSpecs = 256;
+  static std::mutex mu;
+  static std::unordered_map<std::string, DetectorSpec> cache;
+
+  std::string key(spec);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = cache.find(key);
+    if (it != cache.end()) {
+      hits->Add(1);
+      return it->second;
+    }
+  }
+  misses->Add(1);
   EGI_ASSIGN_OR_RETURN(auto parsed, DetectorSpec::Parse(spec));
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    if (cache.size() >= kMaxCachedSpecs) cache.clear();
+    cache.emplace(std::move(key), parsed);
+  }
+  return parsed;
+}
+
+}  // namespace
+
+Result<Session> Session::Open(std::string_view spec) {
+  EGI_ASSIGN_OR_RETURN(auto parsed, ParseSpecCached(spec));
   return Open(parsed);
 }
 
 Result<Session> Session::Open(const DetectorSpec& spec) {
+  static auto* open_hist = Telemetry().GetHistogram("session.open_seconds");
+  telemetry::ScopedTimer timer(open_hist);
   const api::DetectorEntry* entry = api::FindEntry(spec.method);
   if (entry == nullptr) return api::UnknownDetectorError(spec.method);
   EGI_ASSIGN_OR_RETURN(auto values, api::ResolveOptions(*entry, spec));
@@ -183,6 +227,8 @@ Result<Session> Session::Open(const DetectorSpec& spec) {
   return Session(std::make_unique<Impl>(entry, std::move(values),
                                         std::move(detector)));
 }
+
+std::string Session::MetricsJson() { return Telemetry().ToJson(); }
 
 const DetectorInfo& Session::info() const { return impl_->entry->info; }
 
@@ -195,6 +241,10 @@ std::string Session::spec() const {
 Result<std::vector<Detection>> Session::Detect(std::span<const double> series,
                                                size_t window_length,
                                                size_t max_candidates) {
+  static auto* calls = Telemetry().GetCounter("session.detect_calls");
+  static auto* hist = Telemetry().GetHistogram("session.detect_seconds");
+  calls->Add(1);
+  telemetry::ScopedTimer timer(hist);
   EGI_ASSIGN_OR_RETURN(auto found, impl_->detector->Detect(
                                        series, window_length, max_candidates));
   std::vector<Detection> out;
@@ -205,6 +255,10 @@ Result<std::vector<Detection>> Session::Detect(std::span<const double> series,
 
 Result<std::vector<double>> Session::Score(std::span<const double> series,
                                            size_t window_length) {
+  static auto* calls = Telemetry().GetCounter("session.score_calls");
+  static auto* hist = Telemetry().GetHistogram("session.score_seconds");
+  calls->Add(1);
+  telemetry::ScopedTimer timer(hist);
   if (impl_->entry->score == nullptr) {
     return Status::FailedPrecondition(
         "method '" + std::string(method()) +

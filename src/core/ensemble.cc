@@ -6,12 +6,22 @@
 #include <string>
 
 #include "core/gi.h"
+#include "egi/telemetry.h"
 #include "grammar/sequitur.h"
 #include "ts/stats.h"
 #include "util/check.h"
 #include "util/rng.h"
 
 namespace egi::core {
+
+namespace {
+
+// Telemetry handles, resolved once (function-local statics are the cached-
+// pointer idiom every instrumentation site in the tree uses; recording is a
+// sharded relaxed add and NEVER feeds back into the computed curves).
+telemetry::Registry& Telemetry() { return telemetry::Registry::Global(); }
+
+}  // namespace
 
 Status ValidateEnsembleParams(size_t series_length,
                               const EnsembleParams& params) {
@@ -153,10 +163,16 @@ Result<std::vector<std::vector<double>>> ComputeMemberDensityCurves(
   if (out_sample != nullptr) *out_sample = sample;
 
   // Shared discretization across all members (Section 6.2).
+  static auto* encode_hist = Telemetry().GetHistogram("ensemble.encode_seconds");
   sax::MultiResSaxEncoder encoder(series, params.window_length, params.amax,
                                   params.norm_threshold,
                                   params.numerosity_reduction);
-  EGI_ASSIGN_OR_RETURN(auto discretized, encoder.EncodeAll(sample));
+  Result<std::vector<sax::DiscretizedSeries>> encoded = [&] {
+    telemetry::ScopedTimer timer(encode_hist);
+    return encoder.EncodeAll(sample);
+  }();
+  if (!encoded.ok()) return encoded.status();
+  auto discretized = std::move(*encoded);
 
   // The N grammar-induction runs are independent; each writes only its own
   // slot, so the parallel result is bitwise-identical to the serial one.
@@ -166,15 +182,23 @@ Result<std::vector<std::vector<double>>> ComputeMemberDensityCurves(
   // stream in a hub shard — the same few arenas and digram tables serve all
   // grammar inductions allocation-free. Builder reuse is bitwise-output-
   // equivalent to a fresh builder (tested).
+  static auto* induction_hist =
+      Telemetry().GetHistogram("ensemble.induction_seconds");
+  static auto* members_built = Telemetry().GetCounter("ensemble.members_built");
+  members_built->Add(discretized.size());
   std::vector<std::vector<double>> curves(discretized.size());
-  exec::ParallelFor(params.parallelism, 0, discretized.size(), /*grain=*/1,
-                    [&](size_t i) {
-                      auto builder = grammar::AcquireScratchBuilder();
-                      curves[i] = RunGrammarInductionOnTokens(
-                                      discretized[i], params.boundary_correction,
-                                      builder.get())
-                                      .density;
-                    });
+  {
+    telemetry::ScopedTimer timer(induction_hist);
+    exec::ParallelFor(params.parallelism, 0, discretized.size(), /*grain=*/1,
+                      [&](size_t i) {
+                        auto builder = grammar::AcquireScratchBuilder();
+                        curves[i] = RunGrammarInductionOnTokens(
+                                        discretized[i],
+                                        params.boundary_correction,
+                                        builder.get())
+                                        .density;
+                      });
+  }
   if (artifacts != nullptr) artifacts->discretized = std::move(discretized);
   return curves;
 }
@@ -182,6 +206,15 @@ Result<std::vector<std::vector<double>>> ComputeMemberDensityCurves(
 Result<EnsembleResult> ComputeEnsembleDensity(std::span<const double> series,
                                               const EnsembleParams& params,
                                               EnsembleArtifacts* artifacts) {
+  static auto* runs = Telemetry().GetCounter("ensemble.runs");
+  static auto* kept_counter = Telemetry().GetCounter("ensemble.members_kept");
+  static auto* compute_hist =
+      Telemetry().GetHistogram("ensemble.compute_seconds");
+  static auto* combine_hist =
+      Telemetry().GetHistogram("ensemble.combine_seconds");
+  telemetry::ScopedTimer compute_timer(compute_hist);
+  runs->Add(1);
+
   std::vector<sax::WaParam> sample;
   EGI_ASSIGN_OR_RETURN(
       auto curves,
@@ -190,14 +223,20 @@ Result<EnsembleResult> ComputeEnsembleDensity(std::span<const double> series,
   std::vector<double> stds;
   std::vector<bool> kept;
   EnsembleResult out;
-  out.density = CombineMemberCurves(curves, params.selectivity, params.combine,
-                                    params.normalize, params.filter_by_std,
-                                    &stds, &kept);
+  {
+    telemetry::ScopedTimer combine_timer(combine_hist);
+    out.density = CombineMemberCurves(curves, params.selectivity,
+                                      params.combine, params.normalize,
+                                      params.filter_by_std, &stds, &kept);
+  }
+  size_t kept_count = 0;
   out.members.resize(sample.size());
   for (size_t i = 0; i < sample.size(); ++i) {
     out.members[i] = EnsembleMember{sample[i].paa_size,
                                     sample[i].alphabet_size, stds[i], kept[i]};
+    kept_count += kept[i] ? 1 : 0;
   }
+  kept_counter->Add(kept_count);
   return out;
 }
 

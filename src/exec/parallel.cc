@@ -5,11 +5,20 @@
 #include <exception>
 #include <memory>
 
+#include "egi/telemetry.h"
 #include "util/env.h"
 
 namespace egi::exec {
 
 namespace {
+
+/// Pool-queue depth gauge, shared by Enqueue and the worker loop. Updated
+/// inside the queue lock, so the stored value is exact at store time.
+telemetry::Gauge* QueueDepthGauge() {
+  static auto* gauge =
+      telemetry::Registry::Global().GetGauge("exec.queue_depth");
+  return gauge;
+}
 
 thread_local bool tls_in_parallel_region = false;
 
@@ -73,6 +82,7 @@ ThreadPool::ThreadPool(int num_workers) {
           if (stop_ && queue_.empty()) return;
           task = std::move(queue_.front());
           queue_.pop_front();
+          QueueDepthGauge()->Set(static_cast<int64_t>(queue_.size()));
         }
         task();
       }
@@ -104,6 +114,13 @@ ThreadPool& ThreadPool::Shared() {
                          static_cast<int>(std::thread::hardware_concurrency()),
                          8})) -
       1);
+  static const bool gauged = [] {
+    telemetry::Registry::Global()
+        .GetGauge("exec.pool_workers")
+        ->Set(pool->num_workers());
+    return true;
+  }();
+  (void)gauged;
   return *pool;
 }
 
@@ -113,6 +130,7 @@ void ThreadPool::Enqueue(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
+    QueueDepthGauge()->Set(static_cast<int64_t>(queue_.size()));
   }
   cv_.notify_one();
 }
@@ -125,6 +143,17 @@ void ThreadPool::RunChunks(size_t num_chunks, int max_concurrency,
     for (size_t c = 0; c < num_chunks; ++c) chunk_fn(c);
     return;
   }
+
+  // Parallel regions only (the serial/nested inline path above is too hot
+  // for a clock read): region wall time plus how much work fanned out.
+  static auto* regions =
+      telemetry::Registry::Global().GetCounter("exec.regions");
+  static auto* chunks = telemetry::Registry::Global().GetCounter("exec.chunks");
+  static auto* region_hist =
+      telemetry::Registry::Global().GetHistogram("exec.region_seconds");
+  regions->Add(1);
+  chunks->Add(num_chunks);
+  telemetry::ScopedTimer region_timer(region_hist);
 
   // shared_ptr so helper tasks that wake after the region finished (they
   // find the counter exhausted) still have valid state to touch.

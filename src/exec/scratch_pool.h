@@ -6,6 +6,8 @@
 #include <utility>
 #include <vector>
 
+#include "egi/telemetry.h"
+
 namespace egi::exec {
 
 /// A cache of reusable scratch objects shared across threads. Acquire()
@@ -64,15 +66,25 @@ class ScratchPool {
   };
 
   /// Pops the warmest idle instance, or constructs one outside the lock.
+  /// Recycle-vs-construct telemetry: reuses should dominate in steady state
+  /// (a construct after warmup means the concurrency high-water mark grew —
+  /// rare enough to journal).
   Lease Acquire() {
+    static auto* reused =
+        telemetry::Registry::Global().GetCounter("exec.scratch_reused");
+    static auto* created =
+        telemetry::Registry::Global().GetCounter("exec.scratch_created");
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (!idle_.empty()) {
         std::unique_ptr<T> obj = std::move(idle_.back());
         idle_.pop_back();
+        reused->Add(1);
         return Lease(this, std::move(obj));
       }
     }
+    created->Add(1);
+    telemetry::Registry::Global().journal().Emit("exec.scratch_created", {});
     return Lease(this, std::make_unique<T>());
   }
 

@@ -1,5 +1,6 @@
 #include <atomic>
 
+#include "egi/telemetry.h"
 #include "sax/simd/kernels.h"
 #include "util/env.h"
 
@@ -11,9 +12,18 @@ const KernelSet* Resolve() {
   // EGI_FORCE_SCALAR pins the portable path: the CI fallback-coverage leg
   // runs the whole test suite under it, and the equivalence harness uses
   // the same switch to compare paths in one process.
-  if (GetEnvBool("EGI_FORCE_SCALAR", false)) return &ScalarKernels();
-  if (const KernelSet* avx2 = Avx2KernelsOrNull()) return avx2;
-  return &ScalarKernels();
+  const bool forced = GetEnvBool("EGI_FORCE_SCALAR", false);
+  const KernelSet* chosen = &ScalarKernels();
+  if (!forced) {
+    if (const KernelSet* avx2 = Avx2KernelsOrNull()) chosen = avx2;
+  }
+  // The dispatch decision is operationally load-bearing ("the SIMD kernel
+  // silently stopped dispatching" is exactly what the bench gate hunts), so
+  // it goes into the journal. A racing first call may emit twice; harmless.
+  telemetry::Registry::Global().journal().Emit(
+      "simd.dispatch",
+      {{"kernel", chosen->name}, {"forced_scalar", forced ? "1" : "0"}});
+  return chosen;
 }
 
 std::atomic<const KernelSet*> g_active{nullptr};

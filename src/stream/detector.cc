@@ -5,6 +5,7 @@
 #include <limits>
 #include <utility>
 
+#include "egi/telemetry.h"
 #include "sax/breakpoints.h"
 #include "sax/paa.h"
 #include "sax/simd/kernels.h"
@@ -12,6 +13,12 @@
 #include "util/check.h"
 
 namespace egi::stream {
+
+namespace {
+
+telemetry::Registry& Telemetry() { return telemetry::Registry::Global(); }
+
+}  // namespace
 
 Status StreamDetector::ValidateOptions(const StreamDetectorOptions& options) {
   if (options.refit_interval < 1) {
@@ -37,13 +44,36 @@ StreamDetector::StreamDetector(StreamDetectorOptions options)
 }
 
 ScoredPoint StreamDetector::Append(double value) {
+  // Per-point telemetry is counters only — sharded relaxed adds, never a
+  // clock read (the <2% enabled-overhead budget on ingest; latency is
+  // measured at batch granularity by StreamEngine::IngestOne).
+  static auto* points = Telemetry().GetCounter("stream.points");
+  static auto* rejected = Telemetry().GetCounter("stream.points_rejected");
+  static auto* evicted = Telemetry().GetCounter("stream.points_evicted");
+  static auto* provisional = Telemetry().GetCounter("stream.scores_provisional");
+  static auto* refit_scored = Telemetry().GetCounter("stream.scores_refit");
+  points->Add(1);
+
   ScoredPoint pt;
   pt.index = appended_;
   pt.value = value;
   ++appended_;
-  if (!std::isfinite(value)) return pt;  // rejected: not buffered, unscored
+  if (!std::isfinite(value)) {  // rejected: not buffered, unscored
+    rejected->Add(1);
+    return pt;
+  }
 
+  const bool was_full = window_.size() == window_.capacity();
+  if (was_full) evicted->Add(1);
   window_.Append(value);
+  if (!was_full && window_.size() == window_.capacity()) {
+    // The ring just reached capacity: from here on every append evicts the
+    // oldest point. Once per stream lifetime, so it goes to the journal.
+    Telemetry().journal().Emit(
+        "stream.ring_wrapped",
+        {{"capacity", std::to_string(window_.capacity())},
+         {"appended", std::to_string(appended_)}});
+  }
   ++since_refit_;
 
   // Incremental path: score the one new sliding window against the model
@@ -54,6 +84,7 @@ ScoredPoint StreamDetector::Append(double value) {
     pt.score = score;
     pt.scored = true;
     pt.provisional = true;
+    provisional->Add(1);
   }
   scores_.PushBack(score);
 
@@ -65,6 +96,7 @@ ScoredPoint StreamDetector::Append(double value) {
       pt.scored = true;
       pt.provisional = false;
       pt.refit = true;
+      refit_scored->Add(1);
     }
   }
   return pt;
@@ -81,11 +113,19 @@ std::vector<ScoredPoint> StreamDetector::Ingest(
 Status StreamDetector::ForceRefit() { return RefitNow(); }
 
 Status StreamDetector::RefitNow() {
+  static auto* refits = Telemetry().GetCounter("stream.refits");
+  static auto* failures = Telemetry().GetCounter("stream.refit_failures");
+  static auto* refit_hist = Telemetry().GetHistogram("stream.refit_seconds");
+  telemetry::ScopedTimer refit_timer(refit_hist);
   if (window_.size() < window_length()) {
+    failures->Add(1);
     last_refit_status_ = Status::FailedPrecondition(
         "refit needs at least one full window buffered");
     return last_refit_status_;
   }
+  Telemetry().journal().Emit(
+      "refit.started", {{"buffered", std::to_string(window_.size())},
+                        {"appended", std::to_string(appended_)}});
   const std::vector<double> snapshot = window_.Snapshot();
 
   // The replay-equivalence contract: this is literally the batch Algorithm 1
@@ -97,6 +137,9 @@ Status StreamDetector::RefitNow() {
   auto result =
       core::ComputeEnsembleDensity(snapshot, options_.ensemble, &artifacts);
   if (!result.ok()) {
+    failures->Add(1);
+    Telemetry().journal().Emit("refit.failed",
+                               {{"status", result.status().ToString()}});
     last_refit_status_ = result.status();
     return last_refit_status_;
   }
@@ -137,6 +180,10 @@ Status StreamDetector::RefitNow() {
 
   since_refit_ = 0;
   ++refits_;
+  refits->Add(1);
+  Telemetry().journal().Emit(
+      "refit.adopted", {{"members_kept", std::to_string(models_.size())},
+                        {"buffered", std::to_string(window_.size())}});
   last_refit_status_ = Status::OK();
   return last_refit_status_;
 }

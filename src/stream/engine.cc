@@ -1,8 +1,10 @@
 #include "stream/engine.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
+#include "egi/telemetry.h"
 #include "serialize/bytes.h"
 #include "serialize/format.h"
 #include "util/check.h"
@@ -40,6 +42,12 @@ StreamDetector& StreamEngine::detector(StreamId id) {
 
 void StreamEngine::IngestOne(StreamId id, std::span<const double> values,
                              std::vector<ScoredPoint>* out) {
+  // Ingest latency is measured here, per batch, not per point: one clock
+  // pair amortized over the whole span keeps the enabled overhead on the
+  // Append hot path to counter increments only.
+  static auto* batch_hist = telemetry::Registry::Global().GetHistogram(
+      "stream.ingest_batch_seconds");
+  telemetry::ScopedTimer timer(batch_hist);
   StreamDetector& detector = *streams_[id];
   const Callback& callback = callbacks_[id];
   for (const double v : values) {
@@ -96,7 +104,12 @@ std::vector<uint8_t> StreamEngine::SaveAll() const {
     w.PutVarint(section.size());
     w.PutBytes(section);
   }
-  return serialize::WrapPayload(serialize::BlobKind::kStreamEngine, w.bytes());
+  std::vector<uint8_t> blob =
+      serialize::WrapPayload(serialize::BlobKind::kStreamEngine, w.bytes());
+  telemetry::Registry::Global().journal().Emit(
+      "engine.save_all", {{"streams", std::to_string(sections.size())},
+                          {"bytes", std::to_string(blob.size())}});
+  return blob;
 }
 
 Status StreamEngine::LoadAll(std::span<const uint8_t> blob) {
@@ -136,6 +149,9 @@ Status StreamEngine::LoadAll(std::span<const uint8_t> blob) {
   }
   streams_ = std::move(restored);
   callbacks_.assign(streams_.size(), Callback());
+  telemetry::Registry::Global().journal().Emit(
+      "engine.load_all", {{"streams", std::to_string(count)},
+                          {"bytes", std::to_string(blob.size())}});
   return Status::OK();
 }
 

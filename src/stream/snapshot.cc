@@ -18,6 +18,7 @@
 #include <string>
 #include <utility>
 
+#include "egi/telemetry.h"
 #include "sax/breakpoints.h"
 #include "serialize/codecs.h"
 #include "serialize/format.h"
@@ -263,11 +264,20 @@ Status StreamDetector::RestorePayload(ByteReader& r) {
 }
 
 std::vector<uint8_t> StreamDetector::Serialize() const {
+  auto& registry = telemetry::Registry::Global();
+  static auto* hist = registry.GetHistogram("stream.snapshot_seconds");
+  static auto* bytes_gauge = registry.GetGauge("stream.snapshot_bytes");
+  telemetry::ScopedTimer timer(hist);
   ByteWriter w;
   WriteOptions(w, options_);
   WritePayload(w);
-  return serialize::WrapPayload(serialize::BlobKind::kStreamDetector,
-                                w.bytes());
+  std::vector<uint8_t> blob = serialize::WrapPayload(
+      serialize::BlobKind::kStreamDetector, w.bytes());
+  bytes_gauge->Set(static_cast<int64_t>(blob.size()));
+  registry.journal().Emit(
+      "checkpoint.save", {{"bytes", std::to_string(blob.size())},
+                          {"appended", std::to_string(appended_)}});
+  return blob;
 }
 
 // Restore-side bound on buffer_capacity: the constructor pre-allocates two
@@ -279,6 +289,9 @@ inline constexpr size_t kMaxRestoreBufferCapacity = size_t{1} << 26;
 
 Result<StreamDetector> StreamDetector::Deserialize(
     std::span<const uint8_t> blob) {
+  auto& registry = telemetry::Registry::Global();
+  static auto* hist = registry.GetHistogram("stream.restore_seconds");
+  telemetry::ScopedTimer timer(hist);
   std::span<const uint8_t> payload;
   EGI_RETURN_IF_ERROR(serialize::UnwrapPayload(
       blob, serialize::BlobKind::kStreamDetector, &payload));
@@ -293,6 +306,9 @@ Result<StreamDetector> StreamDetector::Deserialize(
   StreamDetector detector(options);
   EGI_RETURN_IF_ERROR(detector.RestorePayload(r));
   EGI_RETURN_IF_ERROR(r.ExpectEnd());
+  registry.journal().Emit(
+      "checkpoint.restore", {{"bytes", std::to_string(blob.size())},
+                             {"appended", std::to_string(detector.appended_)}});
   return detector;
 }
 

@@ -1,0 +1,103 @@
+#include <chrono>
+#include <cstdio>
+
+#include "egi/telemetry.h"
+#include "util/json.h"
+
+namespace egi::telemetry {
+
+std::string Event::ToJson() const {
+  std::string out = "{\"seq\":" + std::to_string(seq);
+  out += ",\"unix_seconds\":" + JsonNumber(unix_seconds);
+  out += ",\"name\":" + JsonQuote(name);
+  out += ",\"fields\":{";
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out += ',';
+    out += JsonQuote(fields[i].first);
+    out += ':';
+    out += JsonQuote(fields[i].second);
+  }
+  out += "}}";
+  return out;
+}
+
+// ----------------------------------------------------------------- RingSink
+
+RingSink::RingSink(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+void RingSink::Append(const Event& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+  } else {
+    ring_[next_] = event;
+  }
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<Event> RingSink::Tail() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Event> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    for (size_t i = 0; i < capacity_; ++i) {
+      out.push_back(ring_[(next_ + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+void RingSink::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+}
+
+// -------------------------------------------------------- JsonLinesFileSink
+
+JsonLinesFileSink::JsonLinesFileSink(const std::string& path)
+    : file_(std::fopen(path.c_str(), "a")) {}
+
+JsonLinesFileSink::~JsonLinesFileSink() {
+  if (file_ != nullptr) std::fclose(static_cast<std::FILE*>(file_));
+}
+
+void JsonLinesFileSink::Append(const Event& event) {
+  if (file_ == nullptr) return;
+  auto* f = static_cast<std::FILE*>(file_);
+  const std::string line = event.ToJson();
+  std::fwrite(line.data(), 1, line.size(), f);
+  std::fputc('\n', f);
+  std::fflush(f);
+}
+
+// ------------------------------------------------------------------ Journal
+
+void Journal::Emit(std::string_view name, std::initializer_list<Field> fields) {
+  if (!enabled_->load(std::memory_order_relaxed)) return;
+  Event event;
+  event.seq = seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  event.unix_seconds =
+      std::chrono::duration<double>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  event.name = std::string(name);
+  event.fields.reserve(fields.size());
+  for (const Field& f : fields) {
+    event.fields.emplace_back(std::string(f.first), f.second);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& sink : sinks_) sink->Append(event);
+}
+
+void Journal::AddSink(std::shared_ptr<EventSink> sink) {
+  if (sink == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  sinks_.push_back(std::move(sink));
+}
+
+}  // namespace egi::telemetry

@@ -1,0 +1,258 @@
+#include "egi/telemetry.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "util/env.h"
+#include "util/json.h"
+
+namespace egi::telemetry {
+
+// ---------------------------------------------------------------- histogram
+
+namespace {
+
+// Layout constants (see the HistogramSnapshot doc comment): 4 exact buckets
+// for 0-3, then 4 linear sub-buckets per power of two for e in [2, 35].
+constexpr unsigned kMaxExponent = 35;
+
+}  // namespace
+
+size_t HistogramSnapshot::BucketIndex(uint64_t nanos) {
+  if (nanos < 4) return static_cast<size_t>(nanos);
+  const unsigned e = std::bit_width(nanos) - 1;  // >= 2
+  if (e > kMaxExponent) return kOverflowBucket;
+  const uint64_t sub = (nanos >> (e - 2)) & 3;
+  return (e - 2) * 4 + 4 + static_cast<size_t>(sub);
+}
+
+uint64_t HistogramSnapshot::BucketLowerBound(size_t index) {
+  if (index < 4) return index;
+  if (index >= kOverflowBucket) return kMaxTrackableNanos + 1;
+  const unsigned e = static_cast<unsigned>((index - 4) / 4) + 2;
+  const uint64_t sub = (index - 4) % 4;
+  return (uint64_t{4} + sub) << (e - 2);
+}
+
+uint64_t HistogramSnapshot::BucketUpperBound(size_t index) {
+  if (index >= kOverflowBucket) return UINT64_MAX;
+  return BucketLowerBound(index + 1);
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  count += other.count;
+  sum_nanos += other.sum_nanos;
+  min_nanos = std::min(min_nanos, other.min_nanos);
+  max_nanos = std::max(max_nanos, other.max_nanos);
+  for (size_t b = 0; b < kNumBuckets; ++b) buckets[b] += other.buckets[b];
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // 1-based rank of the requested order statistic.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(count))));
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    if (cumulative + buckets[b] >= rank) {
+      const double lo = static_cast<double>(BucketLowerBound(b));
+      // The overflow bucket has no finite upper bound; the observed max
+      // caps it (the clamp below makes this exact for the last bucket).
+      const double hi = b == kOverflowBucket
+                            ? static_cast<double>(max_nanos)
+                            : static_cast<double>(BucketUpperBound(b));
+      const double frac = static_cast<double>(rank - cumulative) /
+                          static_cast<double>(buckets[b]);
+      double nanos = lo + (hi - lo) * frac;
+      nanos = std::clamp(nanos, static_cast<double>(min_nanos),
+                         static_cast<double>(max_nanos));
+      return nanos * 1e-9;
+    }
+    cumulative += buckets[b];
+  }
+  return static_cast<double>(max_nanos) * 1e-9;
+}
+
+Histogram::Histogram(std::string name, const std::atomic<bool>* enabled)
+    : name_(std::move(name)),
+      enabled_(enabled),
+      shards_(std::make_unique<Shard[]>(kShards)) {}
+
+void Histogram::RecordAlways(uint64_t nanos) {
+  Shard& shard = shards_[internal::Shard()];
+  shard.buckets[HistogramSnapshot::BucketIndex(nanos)].fetch_add(
+      1, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  shard.sum_nanos.fetch_add(nanos, std::memory_order_relaxed);
+  // min/max are exact values, not bucket bounds; updates are rare after
+  // warmup, so a CAS loop costs nothing in steady state.
+  uint64_t seen = min_nanos_.load(std::memory_order_relaxed);
+  while (nanos < seen && !min_nanos_.compare_exchange_weak(
+                             seen, nanos, std::memory_order_relaxed)) {
+  }
+  seen = max_nanos_.load(std::memory_order_relaxed);
+  while (nanos > seen && !max_nanos_.compare_exchange_weak(
+                             seen, nanos, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot out;
+  for (size_t s = 0; s < kShards; ++s) {
+    const Shard& shard = shards_[s];
+    out.count += shard.count.load(std::memory_order_relaxed);
+    out.sum_nanos += shard.sum_nanos.load(std::memory_order_relaxed);
+    for (size_t b = 0; b < HistogramSnapshot::kNumBuckets; ++b) {
+      out.buckets[b] += shard.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  out.min_nanos = min_nanos_.load(std::memory_order_relaxed);
+  out.max_nanos = max_nanos_.load(std::memory_order_relaxed);
+  return out;
+}
+
+// ----------------------------------------------------------------- registry
+
+Registry::Registry(bool enabled)
+    : enabled_(enabled),
+      journal_(&enabled_),
+      ring_(std::make_shared<RingSink>(256)) {
+  journal_.AddSink(ring_);
+}
+
+Registry& Registry::Global() {
+  // Leaked on purpose: instrumented library code may run while statics are
+  // being destroyed, and the OS reclaims the pages anyway.
+  static Registry* global = [] {
+    auto* r = new Registry(GetEnvBool("EGI_TELEMETRY", true));
+    const std::string path = GetEnvString("EGI_TELEMETRY_JSONL", "");
+    if (!path.empty()) {
+      auto sink = std::make_shared<JsonLinesFileSink>(path);
+      if (sink->ok()) r->journal().AddSink(std::move(sink));
+    }
+    return r;
+  }();
+  return *global;
+}
+
+template <typename T>
+T* Registry::GetOrCreate(std::vector<std::unique_ptr<T>>& metrics,
+                         std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& m : metrics) {
+    if (m->name() == name) return m.get();
+  }
+  // T's constructor is private; unique_ptr gets an already-built object.
+  metrics.push_back(std::unique_ptr<T>(new T(std::string(name), &enabled_)));
+  return metrics.back().get();
+}
+
+Counter* Registry::GetCounter(std::string_view name) {
+  return GetOrCreate(counters_, name);
+}
+
+Gauge* Registry::GetGauge(std::string_view name) {
+  return GetOrCreate(gauges_, name);
+}
+
+Histogram* Registry::GetHistogram(std::string_view name) {
+  return GetOrCreate(histograms_, name);
+}
+
+MetricsSnapshot Registry::Snapshot() const {
+  MetricsSnapshot out;
+  out.enabled = enabled();
+  // Disabled registries present empty sections, not a roster of zeros: the
+  // EGI_TELEMETRY=0 contract is "telemetry does not exist", and consumers
+  // (CI's metrics-dump check, scrapers) key off `enabled` + emptiness.
+  if (!out.enabled) return out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& c : counters_) out.counters.emplace_back(c->name(), c->Value());
+    for (const auto& g : gauges_) out.gauges.emplace_back(g->name(), g->Value());
+    for (const auto& h : histograms_) {
+      out.histograms.emplace_back(h->name(), h->Snapshot());
+    }
+  }
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  };
+  std::sort(out.counters.begin(), out.counters.end(), by_name);
+  std::sort(out.gauges.begin(), out.gauges.end(), by_name);
+  std::sort(out.histograms.begin(), out.histograms.end(), by_name);
+  out.events = ring_->Tail();
+  return out;
+}
+
+std::string Registry::ToJson() const {
+  const MetricsSnapshot snap = Snapshot();
+  std::string out = "{\"enabled\":";
+  out += snap.enabled ? "true" : "false";
+  out += ",\"counters\":{";
+  for (size_t i = 0; i < snap.counters.size(); ++i) {
+    if (i > 0) out += ',';
+    out += JsonQuote(snap.counters[i].first);
+    out += ':';
+    out += std::to_string(snap.counters[i].second);
+  }
+  out += "},\"gauges\":{";
+  for (size_t i = 0; i < snap.gauges.size(); ++i) {
+    if (i > 0) out += ',';
+    out += JsonQuote(snap.gauges[i].first);
+    out += ':';
+    out += std::to_string(snap.gauges[i].second);
+  }
+  out += "},\"histograms\":{";
+  for (size_t i = 0; i < snap.histograms.size(); ++i) {
+    if (i > 0) out += ',';
+    const HistogramSnapshot& h = snap.histograms[i].second;
+    out += JsonQuote(snap.histograms[i].first);
+    out += ":{\"count\":" + std::to_string(h.count);
+    out += ",\"sum_seconds\":" +
+           JsonNumber(static_cast<double>(h.sum_nanos) * 1e-9);
+    out += ",\"mean_seconds\":" + JsonNumber(h.MeanSeconds());
+    out += ",\"min_seconds\":" +
+           JsonNumber(h.count == 0 ? 0.0
+                                   : static_cast<double>(h.min_nanos) * 1e-9);
+    out += ",\"max_seconds\":" +
+           JsonNumber(static_cast<double>(h.max_nanos) * 1e-9);
+    out += ",\"p50\":" + JsonNumber(h.Quantile(0.50));
+    out += ",\"p90\":" + JsonNumber(h.Quantile(0.90));
+    out += ",\"p99\":" + JsonNumber(h.Quantile(0.99));
+    out += '}';
+  }
+  out += "},\"events\":[";
+  for (size_t i = 0; i < snap.events.size(); ++i) {
+    if (i > 0) out += ',';
+    out += snap.events[i].ToJson();
+  }
+  out += "]}";
+  return out;
+}
+
+void Registry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& c : counters_) {
+    for (auto& cell : c->cells_) {
+      cell.value.store(0, std::memory_order_relaxed);
+    }
+  }
+  for (const auto& g : gauges_) g->value_.store(0, std::memory_order_relaxed);
+  for (const auto& h : histograms_) {
+    for (size_t s = 0; s < kShards; ++s) {
+      Histogram::Shard& shard = h->shards_[s];
+      for (auto& b : shard.buckets) b.store(0, std::memory_order_relaxed);
+      shard.count.store(0, std::memory_order_relaxed);
+      shard.sum_nanos.store(0, std::memory_order_relaxed);
+    }
+    h->min_nanos_.store(UINT64_MAX, std::memory_order_relaxed);
+    h->max_nanos_.store(0, std::memory_order_relaxed);
+  }
+  ring_->Clear();
+  journal_.seq_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace egi::telemetry

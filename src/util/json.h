@@ -1,0 +1,22 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace egi {
+
+/// Escapes `s` for inclusion inside a double-quoted JSON string: quote,
+/// backslash, and control characters become their JSON escape sequences.
+/// The one escaping routine in the tree — the bench JSON-lines emitter and
+/// the telemetry MetricsJson renderer both route through it, so a method
+/// spec containing `"` or `\` can never produce an invalid line from either.
+std::string JsonEscape(std::string_view s);
+
+/// `"escaped"` — `s` escaped and wrapped in double quotes.
+std::string JsonQuote(std::string_view s);
+
+/// Shortest decimal rendering of `value` that round-trips through strtod;
+/// non-finite values render as `null` (JSON has no NaN/Inf literal).
+std::string JsonNumber(double value);
+
+}  // namespace egi

@@ -7,6 +7,7 @@
 #include <egi/egi.h>
 
 #include <cstdio>
+#include <string>
 
 #define REQUIRE(cond)                                           \
   do {                                                          \
@@ -69,6 +70,23 @@ int main() {
               data.values.size(),
               static_cast<unsigned long long>(stream->refit_count()),
               blob.size());
+
+  // Telemetry: everything above ran instrumented, so the registry (a public
+  // install surface, egi/telemetry.h) must render a coherent document.
+  const std::string metrics = egi::Session::MetricsJson();
+  REQUIRE(!metrics.empty());
+  REQUIRE(metrics.front() == '{' && metrics.back() == '}');
+  REQUIRE(metrics.find("\"counters\"") != std::string::npos);
+  REQUIRE(metrics.find("\"histograms\"") != std::string::npos);
+  REQUIRE(metrics.find("\"events\"") != std::string::npos);
+  if (egi::telemetry::Enabled()) {
+    REQUIRE(metrics.find("session.detect_calls") != std::string::npos);
+    REQUIRE(metrics.find("stream.points") != std::string::npos);
+    REQUIRE(egi::telemetry::Registry::Global()
+                .GetCounter("stream.points")
+                ->Value() >= data.values.size());
+  }
+  std::printf("metrics document: %zu bytes\n", metrics.size());
 
   std::printf("OK\n");
   return 0;

@@ -7,8 +7,10 @@
 #include "datasets/random_walk.h"
 #include "discord/hotsax.h"
 #include "discord/matrix_profile.h"
+#include "egi/telemetry.h"
 #include "eval/experiment.h"
 #include "exec/parallel.h"
+#include "stream/detector.h"
 #include "util/rng.h"
 
 // The execution engine's central promise (DESIGN.md, "Concurrency model"):
@@ -127,6 +129,83 @@ TEST(ParallelDeterminismTest, HotSaxDiscordsIdenticalAcrossThreads) {
           << threads << " threads, discord " << i;
       EXPECT_EQ((*serial)[i].distance, (*parallel)[i].distance)
           << threads << " threads, discord " << i;
+    }
+  }
+}
+
+// --------------------------------------------------------------- telemetry
+
+// Telemetry must be pure observation: detection outputs are BITWISE-identical
+// with recording enabled and disabled, at any thread count. SetEnabled is the
+// runtime spelling of EGI_TELEMETRY=0 (CI additionally runs the whole suite
+// under the env latch, so the "on" half below forces enabled explicitly
+// instead of assuming the process default). RAII restore so a failing
+// assertion cannot leak a toggled registry into this process (each gtest
+// runs in its own ctest process, but EXPECT_* failures keep executing).
+class ScopedTelemetryEnabled {
+ public:
+  explicit ScopedTelemetryEnabled(bool enabled)
+      : prev_(telemetry::Registry::Global().enabled()) {
+    telemetry::Registry::Global().SetEnabled(enabled);
+  }
+  ~ScopedTelemetryEnabled() {
+    telemetry::Registry::Global().SetEnabled(prev_);
+  }
+
+ private:
+  bool prev_;
+};
+
+TEST(ParallelDeterminismTest, EnsembleBitwiseIdenticalTelemetryOnVsOff) {
+  const auto series = NoisySine(900, 17);
+  for (const int threads : {1, 4}) {
+    const auto on = [&] {
+      ScopedTelemetryEnabled enabled(true);
+      return core::ComputeEnsembleDensity(series, EnsembleCase(threads));
+    }();
+    ASSERT_TRUE(on.ok()) << threads << " threads";
+
+    ScopedTelemetryEnabled disabled(false);
+    const auto off =
+        core::ComputeEnsembleDensity(series, EnsembleCase(threads));
+    ASSERT_TRUE(off.ok()) << threads << " threads";
+    EXPECT_EQ(on->density, off->density) << threads << " threads";
+    for (size_t i = 0; i < on->members.size(); ++i) {
+      EXPECT_EQ(on->members[i].std_dev, off->members[i].std_dev);
+      EXPECT_EQ(on->members[i].kept, off->members[i].kept);
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, StreamingBitwiseIdenticalTelemetryOnVsOff) {
+  const auto series = NoisySine(1200, 23);
+  const auto run = [&](int threads) {
+    stream::StreamDetectorOptions opt;
+    opt.ensemble = EnsembleCase(threads);
+    opt.ensemble.ensemble_size = 12;
+    opt.buffer_capacity = 400;
+    opt.refit_interval = 150;
+    stream::StreamDetector detector(opt);
+    std::vector<double> scores;
+    for (const auto& pt : detector.Ingest(series)) scores.push_back(pt.score);
+    return scores;
+  };
+  for (const int threads : {1, 4}) {
+    std::vector<double> on, off;
+    {
+      ScopedTelemetryEnabled enabled(true);
+      on = run(threads);
+    }
+    {
+      ScopedTelemetryEnabled disabled(false);
+      off = run(threads);
+    }
+    ASSERT_EQ(on.size(), off.size());
+    for (size_t i = 0; i < on.size(); ++i) {
+      // Bitwise comparison that treats the NaN "unscored" marker as equal
+      // to itself (EXPECT_EQ on NaN doubles would always fail).
+      EXPECT_TRUE((std::isnan(on[i]) && std::isnan(off[i])) || on[i] == off[i])
+          << "point " << i << " at " << threads << " threads";
     }
   }
 }

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "egi/telemetry.h"
+
+// Property tests for the histogram layout (ISSUE: merge associativity and
+// commutativity, bucket boundary pins, shard-fold equivalence). The layout
+// being a compile-time constant is what makes every property below hold
+// exactly, not approximately.
+
+namespace egi::telemetry {
+namespace {
+
+using Snap = HistogramSnapshot;
+
+// Deterministic pseudo-random snapshot (seeded mt19937; property tests must
+// be reproducible in CI).
+Snap RandomSnapshot(uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<uint64_t> counts(0, 1000);
+  std::uniform_int_distribution<uint64_t> nanos(0, Snap::kMaxTrackableNanos);
+  Snap s;
+  for (auto& b : s.buckets) b = counts(rng);
+  for (const auto b : s.buckets) s.count += b;
+  s.sum_nanos = counts(rng) * 1000;
+  s.min_nanos = nanos(rng);
+  s.max_nanos = std::max(s.min_nanos, nanos(rng));
+  return s;
+}
+
+Snap Merged(Snap a, const Snap& b) {
+  a.Merge(b);
+  return a;
+}
+
+// ----------------------------------------------------------------- buckets
+
+TEST(TelemetryHistogramTest, SmallValuesGetExactBuckets) {
+  EXPECT_EQ(Snap::BucketIndex(0), 0u);
+  EXPECT_EQ(Snap::BucketIndex(1), 1u);
+  EXPECT_EQ(Snap::BucketIndex(2), 2u);
+  EXPECT_EQ(Snap::BucketIndex(3), 3u);
+  EXPECT_EQ(Snap::BucketIndex(4), 4u);
+}
+
+TEST(TelemetryHistogramTest, BucketBoundariesRoundTrip) {
+  for (size_t i = 0; i < Snap::kNumBuckets; ++i) {
+    const uint64_t lo = Snap::BucketLowerBound(i);
+    EXPECT_EQ(Snap::BucketIndex(lo), i) << "lower bound of bucket " << i;
+    if (i < Snap::kOverflowBucket) {
+      const uint64_t hi = Snap::BucketUpperBound(i);
+      EXPECT_EQ(Snap::BucketIndex(hi - 1), i) << "last value of bucket " << i;
+      EXPECT_EQ(Snap::BucketIndex(hi), i + 1) << "first value past bucket "
+                                              << i;
+      EXPECT_LT(lo, hi) << "bucket " << i << " must be non-empty";
+    }
+  }
+}
+
+TEST(TelemetryHistogramTest, BucketsAreMonotoneOverSweep) {
+  // Index must never decrease as the value grows (probe powers of two and
+  // their neighbours, where the log-linear layout changes regime).
+  std::vector<uint64_t> probes;
+  for (int e = 0; e < 63; ++e) {
+    const uint64_t v = uint64_t{1} << e;
+    probes.insert(probes.end(), {v - 1, v, v + 1});
+  }
+  std::sort(probes.begin(), probes.end());
+  size_t prev = 0;
+  for (const uint64_t probe : probes) {
+    const size_t idx = Snap::BucketIndex(probe);
+    EXPECT_GE(idx, prev) << "value " << probe;
+    EXPECT_LT(idx, Snap::kNumBuckets);
+    prev = idx;
+  }
+}
+
+TEST(TelemetryHistogramTest, OverflowPins) {
+  EXPECT_EQ(Snap::BucketIndex(Snap::kMaxTrackableNanos),
+            Snap::kOverflowBucket - 1);
+  EXPECT_EQ(Snap::BucketIndex(Snap::kMaxTrackableNanos + 1),
+            Snap::kOverflowBucket);
+  EXPECT_EQ(Snap::BucketIndex(UINT64_MAX), Snap::kOverflowBucket);
+  EXPECT_EQ(Snap::BucketUpperBound(Snap::kOverflowBucket), UINT64_MAX);
+}
+
+TEST(TelemetryHistogramTest, RecordSecondsEdgeCases) {
+  Registry reg(/*enabled=*/true);
+  Histogram* h = reg.GetHistogram("h");
+  h->RecordSeconds(std::numeric_limits<double>::quiet_NaN());  // dropped
+  h->RecordSeconds(-1.0);                                      // dropped
+  EXPECT_EQ(h->Snapshot().count, 0u);
+
+  h->RecordSeconds(0.0);                                       // bucket 0
+  h->RecordSeconds(std::numeric_limits<double>::infinity());   // overflow
+  const Snap snap = h->Snapshot();
+  EXPECT_EQ(snap.count, 2u);
+  EXPECT_EQ(snap.buckets[0], 1u);
+  EXPECT_EQ(snap.buckets[Snap::kOverflowBucket], 1u);
+  EXPECT_EQ(snap.min_nanos, 0u);
+  EXPECT_EQ(snap.max_nanos, UINT64_MAX);
+}
+
+// ------------------------------------------------------------------ merges
+
+TEST(TelemetryHistogramTest, MergeIsCommutative) {
+  for (uint32_t seed = 0; seed < 20; ++seed) {
+    const Snap a = RandomSnapshot(seed);
+    const Snap b = RandomSnapshot(seed + 100);
+    EXPECT_EQ(Merged(a, b), Merged(b, a)) << "seed " << seed;
+  }
+}
+
+TEST(TelemetryHistogramTest, MergeIsAssociative) {
+  for (uint32_t seed = 0; seed < 20; ++seed) {
+    const Snap a = RandomSnapshot(seed);
+    const Snap b = RandomSnapshot(seed + 100);
+    const Snap c = RandomSnapshot(seed + 200);
+    EXPECT_EQ(Merged(Merged(a, b), c), Merged(a, Merged(b, c)))
+        << "seed " << seed;
+  }
+}
+
+TEST(TelemetryHistogramTest, MergeWithEmptyIsIdentity) {
+  const Snap a = RandomSnapshot(7);
+  EXPECT_EQ(Merged(a, Snap{}), a);
+  EXPECT_EQ(Merged(Snap{}, a), a);
+}
+
+// -------------------------------------------------------------- shard fold
+
+// The same multiset of values recorded from 1 thread and from 8 threads
+// folds to the SAME snapshot: every field of HistogramSnapshot is a
+// commutative reduction (sums, min, max), so thread interleaving and shard
+// assignment cannot show through.
+TEST(TelemetryHistogramTest, ShardFoldEquivalentAtOneVsEightThreads) {
+  std::mt19937 rng(42);
+  std::uniform_int_distribution<uint64_t> dist(0, Snap::kMaxTrackableNanos);
+  constexpr size_t kPerThread = 5000;
+  constexpr size_t kThreads = 8;
+  std::vector<uint64_t> values(kPerThread * kThreads);
+  for (auto& v : values) v = dist(rng);
+
+  Registry serial_reg(/*enabled=*/true);
+  Histogram* serial = serial_reg.GetHistogram("h");
+  for (const uint64_t v : values) serial->Record(v);
+
+  Registry threaded_reg(/*enabled=*/true);
+  Histogram* threaded = threaded_reg.GetHistogram("h");
+  std::vector<std::thread> workers;
+  for (size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&values, threaded, t] {
+      for (size_t i = 0; i < kPerThread; ++i) {
+        threaded->Record(values[t * kPerThread + i]);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  EXPECT_EQ(serial->Snapshot(), threaded->Snapshot());
+}
+
+// --------------------------------------------------------------- quantiles
+
+TEST(TelemetryHistogramTest, QuantileBasics) {
+  Registry reg(/*enabled=*/true);
+  Histogram* h = reg.GetHistogram("h");
+  EXPECT_EQ(h->Snapshot().Quantile(0.5), 0.0);  // empty
+
+  h->Record(1000000);  // 1 ms
+  const Snap one = h->Snapshot();
+  // A single observation: every quantile is clamped to the exact value.
+  EXPECT_DOUBLE_EQ(one.Quantile(0.0), 1e-3);
+  EXPECT_DOUBLE_EQ(one.Quantile(0.5), 1e-3);
+  EXPECT_DOUBLE_EQ(one.Quantile(1.0), 1e-3);
+}
+
+TEST(TelemetryHistogramTest, QuantilesMonotoneAndWithinRange) {
+  Registry reg(/*enabled=*/true);
+  Histogram* h = reg.GetHistogram("h");
+  std::mt19937 rng(9);
+  std::uniform_int_distribution<uint64_t> dist(100, 50'000'000);
+  uint64_t lo = UINT64_MAX, hi = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t v = dist(rng);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+    h->Record(v);
+  }
+  const Snap snap = h->Snapshot();
+  double prev = 0.0;
+  for (const double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const double v = snap.Quantile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    EXPECT_GE(v, static_cast<double>(lo) * 1e-9);
+    EXPECT_LE(v, static_cast<double>(hi) * 1e-9);
+    prev = v;
+  }
+  EXPECT_GE(snap.MeanSeconds(), static_cast<double>(lo) * 1e-9);
+  EXPECT_LE(snap.MeanSeconds(), static_cast<double>(hi) * 1e-9);
+}
+
+}  // namespace
+}  // namespace egi::telemetry

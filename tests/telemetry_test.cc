@@ -1,0 +1,406 @@
+#include "egi/telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "egi/session.h"
+
+namespace egi::telemetry {
+namespace {
+
+// ------------------------------------------------- minimal JSON validator
+//
+// Enough of RFC 8259 to certify MetricsJson output: objects, arrays,
+// strings with escapes, numbers, true/false/null. Returns false instead of
+// diagnosing — a test that trips it prints the offending document anyway.
+
+class JsonValidator {
+ public:
+  explicit JsonValidator(std::string_view text) : text_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        const char e = text_[pos_];
+        if (e == 'u') {
+          for (int i = 1; i <= 4; ++i) {
+            if (pos_ + i >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_ + i]))) {
+              return false;
+            }
+          }
+          pos_ += 4;
+        } else if (std::string_view("\"\\/bfnrt").find(e) ==
+                   std::string_view::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool Number() {
+    const size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    if (Peek() == '.') {
+      ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    return pos_ > start && std::isdigit(static_cast<unsigned char>(
+                               text_[pos_ - 1]));
+  }
+
+  bool Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+// ------------------------------------------------------------------ metrics
+
+TEST(TelemetryTest, CounterFoldsShardedAdds) {
+  Registry reg(/*enabled=*/true);
+  Counter* c = reg.GetCounter("test.counter");
+  EXPECT_EQ(c->Value(), 0u);
+  c->Add();
+  c->Add(41);
+  EXPECT_EQ(c->Value(), 42u);
+}
+
+TEST(TelemetryTest, GetReturnsStablePointerPerName) {
+  Registry reg(/*enabled=*/true);
+  Counter* a = reg.GetCounter("same.name");
+  Counter* b = reg.GetCounter("same.name");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, reg.GetCounter("other.name"));
+  // Names are per-kind namespaces; a gauge may share a counter's name.
+  EXPECT_NE(static_cast<void*>(a), static_cast<void*>(reg.GetGauge("same.name")));
+}
+
+TEST(TelemetryTest, CounterFoldMatchesAcrossThreads) {
+  Registry reg(/*enabled=*/true);
+  Counter* c = reg.GetCounter("threaded");
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 10000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([c] {
+      for (int i = 0; i < kAddsPerThread; ++i) c->Add();
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c->Value(), static_cast<uint64_t>(kThreads) * kAddsPerThread);
+}
+
+TEST(TelemetryTest, GaugeSetAndAdd) {
+  Registry reg(/*enabled=*/true);
+  Gauge* g = reg.GetGauge("depth");
+  g->Set(7);
+  EXPECT_EQ(g->Value(), 7);
+  g->Add(-3);
+  EXPECT_EQ(g->Value(), 4);
+}
+
+TEST(TelemetryTest, DisabledRegistryRecordsNothing) {
+  Registry reg(/*enabled=*/false);
+  Counter* c = reg.GetCounter("c");
+  Gauge* g = reg.GetGauge("g");
+  Histogram* h = reg.GetHistogram("h");
+  c->Add(5);
+  g->Set(5);
+  h->Record(5);
+  { ScopedTimer timer(h); }
+  reg.journal().Emit("event", {{"k", "v"}});
+  EXPECT_EQ(c->Value(), 0u);
+  EXPECT_EQ(g->Value(), 0);
+  EXPECT_EQ(h->Snapshot().count, 0u);
+  EXPECT_EQ(reg.journal().emitted(), 0u);
+}
+
+TEST(TelemetryTest, SetEnabledTogglesRecordingAtRuntime) {
+  Registry reg(/*enabled=*/true);
+  Counter* c = reg.GetCounter("c");
+  c->Add();
+  reg.SetEnabled(false);
+  c->Add();
+  reg.SetEnabled(true);
+  c->Add();
+  EXPECT_EQ(c->Value(), 2u);
+}
+
+TEST(TelemetryTest, ScopedTimerRecordsOneSample) {
+  Registry reg(/*enabled=*/true);
+  Histogram* h = reg.GetHistogram("lat");
+  { ScopedTimer timer(h); }
+  const HistogramSnapshot snap = h->Snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  // Null histogram is an explicit no-op (registry lookups can't fail, but
+  // embedders may pass a conditional pointer).
+  { ScopedTimer timer(nullptr); }
+}
+
+TEST(TelemetryTest, ResetForTestZeroesEverything) {
+  Registry reg(/*enabled=*/true);
+  reg.GetCounter("c")->Add(3);
+  reg.GetGauge("g")->Set(3);
+  reg.GetHistogram("h")->Record(3);
+  reg.journal().Emit("e", {});
+  reg.ResetForTest();
+  EXPECT_EQ(reg.GetCounter("c")->Value(), 0u);
+  EXPECT_EQ(reg.GetGauge("g")->Value(), 0);
+  EXPECT_EQ(reg.GetHistogram("h")->Snapshot().count, 0u);
+  EXPECT_TRUE(reg.Snapshot().events.empty());
+}
+
+// ------------------------------------------------------------------ journal
+
+TEST(TelemetryTest, JournalStampsSequencesAndFansOut) {
+  Registry reg(/*enabled=*/true);
+  auto extra = std::make_shared<RingSink>(8);
+  reg.journal().AddSink(extra);
+  reg.journal().Emit("first", {{"a", "1"}});
+  reg.journal().Emit("second", {{"b", "2"}, {"c", "3"}});
+
+  const auto events = extra->Tail();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "first");
+  EXPECT_EQ(events[1].name, "second");
+  EXPECT_LT(events[0].seq, events[1].seq);
+  EXPECT_GT(events[0].unix_seconds, 0.0);
+  ASSERT_EQ(events[1].fields.size(), 2u);
+  EXPECT_EQ(events[1].fields[0].first, "b");
+  EXPECT_EQ(events[1].fields[0].second, "2");
+  // The registry's own default ring saw the same events.
+  EXPECT_EQ(reg.Snapshot().events.size(), 2u);
+}
+
+TEST(TelemetryTest, RingSinkKeepsMostRecentInOrder) {
+  RingSink ring(3);
+  for (int i = 0; i < 7; ++i) {
+    Event e;
+    e.seq = static_cast<uint64_t>(i);
+    e.name = "e" + std::to_string(i);
+    ring.Append(e);
+  }
+  const auto tail = ring.Tail();
+  ASSERT_EQ(tail.size(), 3u);
+  EXPECT_EQ(tail[0].name, "e4");
+  EXPECT_EQ(tail[1].name, "e5");
+  EXPECT_EQ(tail[2].name, "e6");
+}
+
+TEST(TelemetryTest, JsonLinesFileSinkWritesParsableLines) {
+  const std::string path =
+      testing::TempDir() + "/telemetry_sink_test.jsonl";
+  std::remove(path.c_str());
+  {
+    Registry reg(/*enabled=*/true);
+    auto sink = std::make_shared<JsonLinesFileSink>(path);
+    ASSERT_TRUE(sink->ok());
+    reg.journal().AddSink(sink);
+    reg.journal().Emit("checkpoint.save", {{"bytes", "123"}});
+    reg.journal().Emit("weird", {{"quote\"key", "back\\slash\nnewline"}});
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    EXPECT_TRUE(JsonValidator(line).Valid()) << line;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2);
+  std::remove(path.c_str());
+}
+
+TEST(TelemetryTest, EventToJsonEscapesFieldValues) {
+  Event e;
+  e.seq = 1;
+  e.unix_seconds = 1723100000.5;
+  e.name = "na\"me";
+  e.fields = {{"k\\ey", "v\"al\nue"}};
+  const std::string json = e.ToJson();
+  EXPECT_TRUE(JsonValidator(json).Valid()) << json;
+}
+
+// --------------------------------------------------------------- rendering
+
+TEST(TelemetryTest, ToJsonIsValidAndEscapesMetricNames) {
+  Registry reg(/*enabled=*/true);
+  // Hostile names: a spec string with quotes/backslashes could end up in a
+  // metric name via an embedder; rendering must stay valid JSON regardless.
+  reg.GetCounter("plain.counter")->Add(2);
+  reg.GetCounter("quo\"te\\name")->Add(1);
+  reg.GetGauge("gauge.bytes")->Set(-5);
+  reg.GetHistogram("hist.seconds")->RecordSeconds(0.001);
+  reg.journal().Emit("ev\"ent", {{"field", "va\\lue"}});
+
+  const std::string json = reg.ToJson();
+  EXPECT_TRUE(JsonValidator(json).Valid()) << json;
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"events\""), std::string::npos);
+  EXPECT_NE(json.find("\"plain.counter\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"gauge.bytes\":-5"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(TelemetryTest, SnapshotIsSortedByName) {
+  Registry reg(/*enabled=*/true);
+  reg.GetCounter("zebra")->Add(1);
+  reg.GetCounter("alpha")->Add(1);
+  reg.GetCounter("mid")->Add(1);
+  const MetricsSnapshot snap = reg.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].first, "alpha");
+  EXPECT_EQ(snap.counters[1].first, "mid");
+  EXPECT_EQ(snap.counters[2].first, "zebra");
+}
+
+// The public-facade spelling: Session::MetricsJson() renders the global
+// registry, after real instrumented work has run through it.
+TEST(TelemetryTest, SessionMetricsJsonCoversInstrumentedLayers) {
+  auto session = Session::Open("ensemble:wmax=6,amax=6,n=8");
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  std::vector<double> series(400);
+  for (size_t i = 0; i < series.size(); ++i) {
+    series[i] = std::sin(static_cast<double>(i) / 9.0) +
+                (i == 250 ? 3.0 : 0.0);
+  }
+  ASSERT_TRUE(session->Detect(series, 50, 2).ok());
+  ASSERT_TRUE(session->Score(series, 50).ok());
+
+  const std::string json = Session::MetricsJson();
+  EXPECT_TRUE(JsonValidator(json).Valid()) << json;
+  if (telemetry::Enabled()) {
+    EXPECT_NE(json.find("\"enabled\":true"), std::string::npos);
+    EXPECT_NE(json.find("session.detect_calls"), std::string::npos);
+    EXPECT_NE(json.find("ensemble.runs"), std::string::npos);
+    EXPECT_NE(json.find("session.detect_seconds"), std::string::npos);
+  } else {
+    // EGI_TELEMETRY=0 leg: the document is still valid, just empty.
+    EXPECT_NE(json.find("\"enabled\":false"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace egi::telemetry
