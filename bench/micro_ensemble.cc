@@ -3,12 +3,17 @@
 // thread count — the N grammar inductions run on per-worker Reset()
 // builders through the shared exec pool.
 //
+// --prune-to (or EGI_BENCH_PRUNE=1) switches to the two-stage construction
+// sweep: wall time and speedup of `prune_to` values against the full build
+// at the same N (CI archives its JSON output in BENCH_adaptive.json).
+//
 // EGI_BENCH_QUICK=1 shrinks the sweep (CI smoke mode); --json (or
 // EGI_BENCH_JSON=1) emits one JSON object per line for BENCH_*.json
 // tracking instead of the human-readable table.
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -22,11 +27,95 @@
 #include "util/stopwatch.h"
 #include "util/table.h"
 
+namespace {
+
+// Two-stage construction: full-build wall time vs pruned builds at the same
+// drawn sample. prune_to = 0 is the reference row (speedup 1.0 by
+// definition); the speedup of the other rows is what the trend gate tracks.
+int RunPruneSweep(bool json, bool quick) {
+  using namespace egi;
+  const int reps = quick ? 2 : 3;
+  const size_t window = 250;
+  const size_t len = quick ? 4000 : 8000;
+  const int ensemble_size = 50;
+  const std::vector<int> prune_tos =
+      quick ? std::vector<int>{0, 10} : std::vector<int>{0, 10, 25};
+  const exec::Parallelism env_par = exec::Parallelism::FromEnv();
+  std::vector<int> thread_counts{1};
+  if (env_par.threads > 1) thread_counts.push_back(env_par.threads);
+
+  if (!json) {
+    std::printf("== Two-stage ensemble construction (prune_to sweep) ==\n");
+    std::printf("series %zu, window %zu, N=%d, best of %d reps%s\n\n", len,
+                window, ensemble_size, reps, quick ? " [QUICK]" : "");
+  }
+
+  TextTable table("pruned construction speedup");
+  table.SetHeader({"prune_to", "Threads", "Time (s)", "Points/sec",
+                   "Speedup vs full"});
+
+  Rng rng(9);
+  const auto series = datasets::MakeLongEcg(len, rng);
+  for (const int threads : thread_counts) {
+    double full_secs = 0.0;
+    for (const int prune_to : prune_tos) {
+      core::EnsembleParams p;
+      p.window_length = window;
+      p.ensemble_size = ensemble_size;
+      p.prune_to = prune_to;
+      p.parallelism = exec::Parallelism::Fixed(threads);
+      const double secs = bench::BestSeconds(reps, [&] {
+        auto r = core::ComputeEnsembleDensity(series, p);
+        EGI_CHECK(r.ok()) << r.status().ToString();
+        bench::KeepAlive(r);
+      });
+      if (prune_to == 0) full_secs = secs;
+      const double speedup = full_secs / std::max(secs, 1e-12);
+      const double pps = static_cast<double>(len) / std::max(secs, 1e-12);
+      if (json) {
+        bench::JsonRecord("micro_ensemble_adaptive")
+            .Add("series_length", static_cast<int64_t>(len))
+            .Add("ensemble_size", ensemble_size)
+            .Add("prune_to", prune_to)
+            .Add("threads", threads)
+            .Add("window", static_cast<int64_t>(window))
+            .Add("seconds", secs)
+            .Add("points_per_sec", pps)
+            .Add("speedup", speedup)
+            .Add("quick", quick)
+            .Emit(std::cout);
+      } else {
+        table.AddRow({std::to_string(prune_to), std::to_string(threads),
+                      FormatDouble(secs, 4), FormatDouble(pps, 0),
+                      FormatDouble(speedup, 2)});
+      }
+    }
+  }
+
+  if (!json) {
+    table.Print(std::cout);
+    std::printf(
+        "\nscreening ranks all N candidates from the shared discretizations"
+        "\nalone; full Sequitur induction runs only for the survivors.\n");
+  }
+  return 0;
+}
+
+bool PruneSweepEnabled(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--prune-to") == 0) return true;
+  }
+  return egi::GetEnvBool("EGI_BENCH_PRUNE", false);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   if (egi::bench::HandleStandardFlags(argc, argv)) return 0;
   using namespace egi;
   const bool json = bench::JsonOutputEnabled(argc, argv);
   const bool quick = GetEnvBool("EGI_BENCH_QUICK", false);
+  if (PruneSweepEnabled(argc, argv)) return RunPruneSweep(json, quick);
   const int reps = quick ? 2 : 3;
   const size_t window = 250;
   const std::vector<size_t> lengths =

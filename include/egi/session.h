@@ -21,9 +21,18 @@
 
 namespace egi {
 
+/// When a streaming session replays the batch algorithm (see DESIGN.md,
+/// "Adaptive ensembles & refit policy").
+enum class RefitPolicy : uint8_t {
+  kFixed = 0,     ///< every refit_interval appends (the classic cadence)
+  kAdaptive = 1,  ///< drift-gated: the cadence stretches while the
+                  ///< provisional score distribution stays inside a
+                  ///< tolerance band, and snaps back on drift
+};
+
 /// Configuration of a streaming session opened from a batch Session. The
-/// Algorithm 1 knobs (wmax, amax, n, tau, seed, threads) come from the
-/// owning Session's spec; these are the stream-shape knobs.
+/// Algorithm 1 knobs (wmax, amax, n, tau, seed, prune_to, threads) come from
+/// the owning Session's spec; these are the stream-shape knobs.
 struct StreamOptions {
   /// Sliding-window length n (the anomaly scale of interest). Required.
   size_t window_length = 0;
@@ -31,8 +40,19 @@ struct StreamOptions {
   /// >= window_length.
   size_t buffer_capacity = 4096;
   /// A full batch refit runs once per this many appends (amortization knob:
-  /// larger = faster ingest, staler provisional model). Must be >= 1.
+  /// larger = faster ingest, staler provisional model). Must be >= 1. Under
+  /// RefitPolicy::kAdaptive this is the floor of the effective cadence.
   size_t refit_interval = 512;
+  /// Refit cadence policy. Deterministic either way: the same ingested
+  /// values produce the same refit boundaries at every thread count.
+  RefitPolicy refit_policy = RefitPolicy::kFixed;
+  /// Ceiling of the adaptive cadence; 0 = 8 * refit_interval. Must be 0 or
+  /// >= refit_interval. Ignored under kFixed.
+  size_t refit_interval_max = 0;
+  /// Width of the adaptive drift band, in baseline standard deviations of
+  /// the post-refit provisional scores. Must be finite and > 0 under
+  /// kAdaptive. Ignored under kFixed.
+  double drift_tolerance = 0.25;
 };
 
 /// One scored stream point, as returned by StreamSession::Append and

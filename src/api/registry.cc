@@ -115,6 +115,9 @@ constexpr OptionSpec kEnsembleOptions[] = {
     {"tau", OptionType::kDouble, "0.4",
      "selectivity: fraction of curves kept by std-dev rank, in (0, 1]"},
     {"seed", OptionType::kUint64, "42", "RNG seed for the parameter draw"},
+    {"prune_to", OptionType::kInt, "0",
+     "two-stage construction: full induction only for the top-k screened "
+     "candidates (0 = build all N)"},
     {"threads", OptionType::kInt, "env",
      "intra-detector parallelism; default EGI_NUM_THREADS or all cores"},
 };
@@ -198,6 +201,10 @@ Status ValidateEnsemble(const OptionValues& v) {
     return Status::OutOfRange("tau (selectivity) must be in (0, 1], got " +
                               FormatSpecDouble(tau));
   }
+  if (v.GetInt("prune_to") < 0) {
+    return Status::OutOfRange("prune_to must be >= 0, got " +
+                              std::to_string(v.GetInt("prune_to")));
+  }
   return CheckThreads(v);
 }
 
@@ -208,6 +215,7 @@ core::EnsembleParams EnsembleParamsOf(const OptionValues& v) {
   p.ensemble_size = static_cast<int>(v.GetInt("n"));
   p.selectivity = v.GetDouble("tau");
   p.seed = v.GetUint("seed");
+  p.prune_to = static_cast<int>(v.GetInt("prune_to"));
   p.parallelism =
       exec::Parallelism::Fixed(static_cast<int>(v.GetInt("threads")));
   return p;

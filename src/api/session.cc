@@ -282,6 +282,11 @@ Result<stream::StreamDetectorOptions> StreamOptionsFor(
   out.ensemble.window_length = options.window_length;
   out.buffer_capacity = options.buffer_capacity;
   out.refit_interval = options.refit_interval;
+  out.refit_policy = options.refit_policy == RefitPolicy::kAdaptive
+                         ? stream::RefitPolicy::kAdaptive
+                         : stream::RefitPolicy::kFixed;
+  out.refit_interval_max = options.refit_interval_max;
+  out.drift_tolerance = options.drift_tolerance;
   EGI_RETURN_IF_ERROR(stream::StreamDetector::ValidateOptions(out));
   return out;
 }

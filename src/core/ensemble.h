@@ -31,6 +31,14 @@ struct EnsembleParams {
   double selectivity = 0.4;  ///< tau: fraction of curves kept by std-dev rank
   uint64_t seed = 42;        ///< RNG seed for the parameter draw
 
+  /// Two-stage member construction: when 0 < prune_to < the drawn sample
+  /// size, a cheap screening pass (token-frequency curve std on a strided
+  /// subsample of window positions, from the shared discretizations alone)
+  /// ranks all N candidates and full Sequitur induction runs only for the
+  /// top `prune_to` survivors. 0 (default) builds every member — the exact
+  /// Algorithm 1 path, bitwise-identical to builds without this knob.
+  int prune_to = 0;
+
   double norm_threshold = ts::kDefaultNormThreshold;
   bool numerosity_reduction = true;
 
@@ -104,11 +112,33 @@ Result<std::vector<std::vector<double>>> ComputeMemberDensityCurves(
     std::vector<sax::WaParam>* out_sample = nullptr,
     EnsembleArtifacts* artifacts = nullptr);
 
+/// How CombineMemberCurves filters and merges a set of member curves.
+struct CombineSpec {
+  double selectivity = 0.4;
+  CombineRule combine = CombineRule::kMedian;
+  NormalizeMode normalize = NormalizeMode::kMaxPreservingZeros;
+  bool filter_by_std = true;
+  /// The curves are already ranked best-first (e.g. by the pruning screen),
+  /// so the std-dev re-sort is skipped and a prefix is kept.
+  bool already_ranked = false;
+  /// When the ranked curves are the survivors of a pruned draw, the keep
+  /// fraction applies to this original population size rather than
+  /// curves.size() (0 = use curves.size()).
+  size_t rank_population = 0;
+};
+
 /// Steps 7-14 of Algorithm 1 in isolation: given precomputed member curves,
 /// applies the selectivity filter, normalization, and combination. Exposed
 /// so parameter-sweep benches (N, tau) can reuse one set of member curves.
 /// `member_stats` is filled with each curve's population standard deviation;
 /// `kept` (optional) records the filter decision per curve.
+std::vector<double> CombineMemberCurves(
+    std::span<const std::vector<double>> curves, const CombineSpec& spec,
+    std::vector<double>* member_stats = nullptr,
+    std::vector<bool>* kept = nullptr);
+
+/// Legacy-signature convenience over the CombineSpec overload (no ranking
+/// fast path; keep fraction applies to curves.size()).
 std::vector<double> CombineMemberCurves(
     std::span<const std::vector<double>> curves, double selectivity,
     CombineRule combine, NormalizeMode normalize, bool filter_by_std,

@@ -45,7 +45,7 @@ std::vector<uint8_t> WrapPayload(BlobKind kind,
 }
 
 Status UnwrapPayload(std::span<const uint8_t> blob, BlobKind expected_kind,
-                     std::span<const uint8_t>* payload) {
+                     std::span<const uint8_t>* payload, uint32_t* version_out) {
   ByteReader r(blob);
   uint8_t magic[4] = {0, 0, 0, 0};
   for (auto& b : magic) {
@@ -58,12 +58,13 @@ Status UnwrapPayload(std::span<const uint8_t> blob, BlobKind expected_kind,
   }
   uint32_t version = 0;
   EGI_RETURN_IF_ERROR(r.ReadU32(&version));
-  if (version != kSnapshotVersion) {
+  if (version < kMinSnapshotVersion || version > kSnapshotVersion) {
     return Status::InvalidArgument(
         "unsupported snapshot version " + std::to_string(version) +
-        " (this build reads version " + std::to_string(kSnapshotVersion) +
-        ")");
+        " (this build reads versions " + std::to_string(kMinSnapshotVersion) +
+        " through " + std::to_string(kSnapshotVersion) + ")");
   }
+  if (version_out != nullptr) *version_out = version;
   uint8_t kind = 0;
   EGI_RETURN_IF_ERROR(r.ReadU8(&kind));
   if (kind != static_cast<uint8_t>(expected_kind)) {

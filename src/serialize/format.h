@@ -13,11 +13,20 @@ inline constexpr uint8_t kSnapshotMagic[4] = {'E', 'G', 'I', 'S'};
 
 /// Current snapshot format version. Policy: any change to the byte layout of
 /// an existing section bumps this (there is no in-place migration — decoders
-/// reject other versions with Status, and callers re-fit or re-snapshot).
-/// Purely additive trailing sections would also bump it: the decoder demands
-/// exact payload consumption, so v1 readers must never see v2 bytes.
-/// tests/stream_snapshot_test.cc's golden fixture pins the v1 layout.
-inline constexpr uint32_t kSnapshotVersion = 1;
+/// reject versions above their own with Status, and callers re-fit or
+/// re-snapshot). Purely additive trailing sections also bump it: the decoder
+/// demands exact payload consumption, so older readers must never see newer
+/// bytes. Writers always emit the current version; readers accept
+/// [kMinSnapshotVersion, kSnapshotVersion] and the per-kind decoders skip
+/// the sections an older revision did not write.
+///
+/// History: v1 = the original StreamDetector/StreamEngine layout; v2 adds
+/// the adaptive-cadence options (prune_to, refit_policy, refit_interval_max,
+/// drift_tolerance) and drift-gate runtime state. tests/stream_snapshot_test
+/// pins both: the v1 golden fixture must keep decoding, the v2 golden pins
+/// the current byte layout.
+inline constexpr uint32_t kSnapshotVersion = 2;
+inline constexpr uint32_t kMinSnapshotVersion = 1;
 
 /// What a blob contains; part of the envelope so a detector snapshot can
 /// never be restored as an engine checkpoint or vice versa.
@@ -39,8 +48,11 @@ std::vector<uint8_t> WrapPayload(BlobKind kind,
 
 /// Validates the envelope of `blob` (magic, version, kind, exact length,
 /// checksum) and points `payload` at the enclosed bytes. Never reads out of
-/// bounds; every malformed input yields a Status error.
+/// bounds; every malformed input yields a Status error. `version` (optional)
+/// receives the accepted envelope revision so decoders can skip sections an
+/// older writer did not emit.
 Status UnwrapPayload(std::span<const uint8_t> blob, BlobKind expected_kind,
-                     std::span<const uint8_t>* payload);
+                     std::span<const uint8_t>* payload,
+                     uint32_t* version = nullptr);
 
 }  // namespace egi::serialize

@@ -18,6 +18,10 @@ namespace {
 
 telemetry::Registry& Telemetry() { return telemetry::Registry::Global(); }
 
+// Absolute slack added to the drift band so constant-score streams (baseline
+// std exactly 0) do not re-trigger on sub-ulp mean wobble.
+constexpr double kDriftBandEpsilon = 1e-9;
+
 }  // namespace
 
 Status StreamDetector::ValidateOptions(const StreamDetectorOptions& options) {
@@ -27,6 +31,22 @@ Status StreamDetector::ValidateOptions(const StreamDetectorOptions& options) {
   if (options.buffer_capacity < options.ensemble.window_length) {
     return Status::InvalidArgument(
         "buffer_capacity smaller than the window length");
+  }
+  if (options.refit_policy != RefitPolicy::kFixed &&
+      options.refit_policy != RefitPolicy::kAdaptive) {
+    return Status::InvalidArgument("unknown refit policy");
+  }
+  if (options.refit_interval_max != 0 &&
+      options.refit_interval_max < options.refit_interval) {
+    return Status::InvalidArgument(
+        "refit_interval_max must be 0 (auto) or >= refit_interval");
+  }
+  if (options.refit_policy == RefitPolicy::kAdaptive &&
+      (!std::isfinite(options.drift_tolerance) ||
+       options.drift_tolerance <= 0.0)) {
+    return Status::InvalidArgument(
+        "drift_tolerance must be a finite value > 0 under the adaptive "
+        "refit policy");
   }
   // The buffered window is the longest series a refit will ever see; if the
   // ensemble parameters are invalid for it they are invalid for every
@@ -38,7 +58,8 @@ Status StreamDetector::ValidateOptions(const StreamDetectorOptions& options) {
 StreamDetector::StreamDetector(StreamDetectorOptions options)
     : options_(options),
       window_(options.buffer_capacity, options.ensemble.window_length),
-      scores_(options.buffer_capacity) {
+      scores_(options.buffer_capacity),
+      effective_interval_(options.refit_interval) {
   const Status st = ValidateOptions(options_);
   EGI_CHECK(st.ok()) << "invalid streaming options: " << st.ToString();
 }
@@ -88,9 +109,20 @@ ScoredPoint StreamDetector::Append(double value) {
   }
   scores_.PushBack(score);
 
-  // Amortized refit: replace the whole curve with the batch result.
-  if (since_refit_ >= options_.refit_interval &&
-      window_.size() >= window_length()) {
+  // Drift tracking (adaptive policy): every provisional score produced
+  // since the last refit feeds the rolling stats the gate below reads.
+  if (options_.refit_policy == RefitPolicy::kAdaptive && pt.provisional) {
+    drift_stats_.Add(score);
+  }
+
+  // Amortized refit: replace the whole curve with the batch result. Under
+  // kFixed a refit is due every refit_interval appends; under kAdaptive the
+  // drift gate decides — once a first model exists to drift from.
+  bool due = since_refit_ >= options_.refit_interval;
+  if (due && options_.refit_policy == RefitPolicy::kAdaptive && fitted()) {
+    due = AdaptiveRefitDue();
+  }
+  if (due && window_.size() >= window_length()) {
     if (RefitNow().ok()) {
       pt.score = scores_.back();  // exact batch density for this point
       pt.scored = true;
@@ -111,6 +143,66 @@ std::vector<ScoredPoint> StreamDetector::Ingest(
 }
 
 Status StreamDetector::ForceRefit() { return RefitNow(); }
+
+bool StreamDetector::AdaptiveRefitDue() {
+  static auto* skipped = Telemetry().GetCounter("stream.refits_skipped");
+  static auto* triggers = Telemetry().GetCounter("stream.drift_triggers");
+
+  // Drift is judged block by block: drift_stats_ holds the provisional
+  // scores of the current refit_interval-sized block and is consumed when
+  // the block completes. The first completed block after a refit is the
+  // baseline; every later block's mean is held to a tolerance band around
+  // the baseline mean. Comparing block means — not the cumulative mean
+  // since the refit — keeps a late regime change from being diluted by a
+  // long calm prefix inside a stretched interval. Once fitted, every
+  // buffered append scores provisionally, so blocks complete exactly at
+  // since_refit_ multiples of the interval.
+  if (drift_stats_.count() < options_.refit_interval) {
+    // Mid-block: nothing to judge at this append. The count-0 case is a
+    // safety net (a fitted detector produces a provisional score per
+    // buffered append, so it is unreachable today): fixed cadence.
+    return drift_stats_.count() == 0;
+  }
+
+  const double block_mean = drift_stats_.Mean();
+  const double block_std = drift_stats_.SampleStdDev();
+  drift_stats_.Reset();
+  if (!drift_base_set_) {
+    drift_base_mean_ = block_mean;
+    drift_base_std_ = block_std;
+    drift_base_set_ = true;
+  } else {
+    // Out-of-band block mean: the fitted model no longer describes the
+    // stream — refit at this append and drop back to the cadence floor.
+    const double deviation = std::abs(block_mean - drift_base_mean_);
+    const double band =
+        options_.drift_tolerance * drift_base_std_ + kDriftBandEpsilon;
+    if (deviation > band) {
+      triggers->Add(1);
+      effective_interval_ = options_.refit_interval;
+      Telemetry().journal().Emit(
+          "stream.drift_trigger",
+          {{"since_refit", std::to_string(since_refit_)},
+           {"block_mean", std::to_string(block_mean)},
+           {"base_mean", std::to_string(drift_base_mean_)}});
+      return true;
+    }
+  }
+
+  // In band: refit only when the stretched interval elapses at its ceiling;
+  // until then keep doubling it and let the provisional path carry on.
+  if (since_refit_ >= effective_interval_) {
+    const uint64_t max_interval = EffectiveIntervalMax();
+    if (effective_interval_ >= max_interval) return true;
+    effective_interval_ = std::min(effective_interval_ * 2, max_interval);
+    Telemetry().journal().Emit(
+        "stream.refit_stretched",
+        {{"effective_interval", std::to_string(effective_interval_)},
+         {"since_refit", std::to_string(since_refit_)}});
+  }
+  skipped->Add(1);
+  return false;
+}
 
 Status StreamDetector::RefitNow() {
   static auto* refits = Telemetry().GetCounter("stream.refits");
@@ -181,6 +273,13 @@ Status StreamDetector::RefitNow() {
   since_refit_ = 0;
   ++refits_;
   refits->Add(1);
+  // A fresh model invalidates the drift baseline (inert under kFixed, where
+  // the drift state never leaves its defaults). The stretched interval
+  // persists across calm refits — only a drift trigger resets it.
+  drift_stats_.Reset();
+  drift_base_set_ = false;
+  drift_base_mean_ = 0.0;
+  drift_base_std_ = 0.0;
   Telemetry().journal().Emit(
       "refit.adopted", {{"members_kept", std::to_string(models_.size())},
                         {"buffered", std::to_string(window_.size())}});

@@ -26,6 +26,14 @@ struct ScoredPoint {
   bool refit = false;        ///< this append completed a full batch refit
 };
 
+/// When the detector replays the batch algorithm (DESIGN.md "Adaptive
+/// ensembles & refit policy").
+enum class RefitPolicy : uint8_t {
+  kFixed = 0,     ///< every refit_interval appends (the classic cadence)
+  kAdaptive = 1,  ///< drift-gated: stretch the cadence while the provisional
+                  ///< score distribution stays inside a tolerance band
+};
+
 /// Configuration of the online detector. `ensemble.window_length` is the
 /// sliding-window length n; the other EnsembleParams fields are the
 /// Algorithm 1 knobs used at every refit (fixed seed, so every refit draws
@@ -38,8 +46,28 @@ struct StreamDetectorOptions {
   size_t buffer_capacity = 4096;
 
   /// A full batch refit runs once per this many appends (amortization knob:
-  /// larger = faster ingest, staler provisional model). Must be >= 1.
+  /// larger = faster ingest, staler provisional model). Must be >= 1. Under
+  /// the adaptive policy this is the floor of the effective cadence.
   size_t refit_interval = 512;
+
+  /// Refit cadence policy. kAdaptive judges drift block by block (Neumaier
+  /// rolling stats): the first refit_interval provisional scores after a
+  /// refit form the baseline block, and every later block's mean is held to
+  /// a band of drift_tolerance baseline-std-devs around the baseline mean.
+  /// While blocks stay in band the effective interval doubles (up to
+  /// refit_interval_max); an out-of-band block triggers a refit on the spot
+  /// and snaps the cadence back to the refit_interval floor. A pure
+  /// function of the ingested values — same inputs, same thread count, same
+  /// refit boundaries — and bitwise-identical to kFixed when unused.
+  RefitPolicy refit_policy = RefitPolicy::kFixed;
+
+  /// Ceiling of the adaptive cadence; 0 = 8 * refit_interval. Must be 0 or
+  /// >= refit_interval. Ignored under kFixed.
+  size_t refit_interval_max = 0;
+
+  /// Width of the drift band in baseline standard deviations. Must be a
+  /// finite value > 0 under kAdaptive. Ignored under kFixed.
+  double drift_tolerance = 0.25;
 };
 
 /// Online ensemble grammar-induction detector (the streaming counterpart of
@@ -97,6 +125,11 @@ class StreamDetector {
   uint64_t appends_since_refit() const { return since_refit_; }
   bool fitted() const { return refits_ > 0; }
 
+  /// Current effective refit cadence: refit_interval under kFixed, the
+  /// stretched interval in [refit_interval, refit_interval_max] under
+  /// kAdaptive.
+  uint64_t effective_refit_interval() const { return effective_interval_; }
+
   /// Status of the most recent refit attempt (OK before any attempt).
   const Status& last_refit_status() const { return last_refit_status_; }
 
@@ -152,12 +185,25 @@ class StreamDetector {
   Status RefitNow();
   double ProvisionalScore();
 
+  /// The adaptive policy's per-append refit decision (kAdaptive, fitted
+  /// detectors only). Returns true when a refit should run now — either
+  /// because the provisional score mean left the drift band or because the
+  /// stretched effective interval elapsed at its ceiling — and stretches
+  /// the interval / counts skipped refits otherwise.
+  bool AdaptiveRefitDue();
+  size_t EffectiveIntervalMax() const {
+    return options_.refit_interval_max != 0 ? options_.refit_interval_max
+                                            : 8 * options_.refit_interval;
+  }
+
   // Snapshot payload body (src/stream/snapshot.cc). WritePayload emits
   // everything after the envelope; RestorePayload fills a freshly
   // constructed detector (options already decoded and validated) and
-  // re-checks every cross-field invariant of the decoded state.
+  // re-checks every cross-field invariant of the decoded state. `version`
+  // is the envelope revision of the blob being restored (v1 blobs carry no
+  // adaptive-cadence state and restore its defaults).
   void WritePayload(serialize::ByteWriter& w) const;
-  Status RestorePayload(serialize::ByteReader& r);
+  Status RestorePayload(serialize::ByteReader& r, uint32_t version);
 
   StreamDetectorOptions options_;
   StreamWindow window_;
@@ -168,6 +214,15 @@ class StreamDetector {
   Status last_refit_status_;
   core::EnsembleResult last_ensemble_;
   std::vector<MemberModel> models_;  // kept members only, draw order
+  // Adaptive-cadence state (kAdaptive; defaults are inert under kFixed).
+  // drift_stats_ accumulates the provisional scores produced since the last
+  // refit; the baseline (mean, std) is captured once refit_interval of them
+  // exist and anchors the drift band until the next refit resets it.
+  uint64_t effective_interval_ = 0;  // constructor: refit_interval
+  RollingStats drift_stats_;
+  double drift_base_mean_ = 0.0;
+  double drift_base_std_ = 0.0;
+  bool drift_base_set_ = false;
   // Hot-path scratch, reused across Append calls to avoid allocation.
   std::vector<double> scratch_window_;     // last window copy
   std::vector<double> normalized_window_;  // z-normalized once per point

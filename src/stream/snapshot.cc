@@ -48,6 +48,11 @@ void WriteOptions(ByteWriter& w, const StreamDetectorOptions& o) {
   w.PutBool(e.boundary_correction);
   w.PutVarint(o.buffer_capacity);
   w.PutVarint(o.refit_interval);
+  // v2 additions (adaptive ensembles & refit policy).
+  w.PutVarint(static_cast<uint64_t>(e.prune_to));
+  w.PutU8(static_cast<uint8_t>(o.refit_policy));
+  w.PutVarint(o.refit_interval_max);
+  w.PutDouble(o.drift_tolerance);
 }
 
 Status ReadVarintInt(ByteReader& r, int* out, const char* what) {
@@ -72,7 +77,8 @@ Status ReadVarintSize(ByteReader& r, size_t* out, const char* what) {
   return Status::OK();
 }
 
-Status ReadOptions(ByteReader& r, StreamDetectorOptions* out) {
+Status ReadOptions(ByteReader& r, uint32_t version,
+                   StreamDetectorOptions* out) {
   StreamDetectorOptions o;
   core::EnsembleParams& e = o.ensemble;
   EGI_RETURN_IF_ERROR(ReadVarintSize(r, &e.window_length, "window_length"));
@@ -102,6 +108,20 @@ Status ReadOptions(ByteReader& r, StreamDetectorOptions* out) {
   EGI_RETURN_IF_ERROR(r.ReadBool(&e.boundary_correction));
   EGI_RETURN_IF_ERROR(ReadVarintSize(r, &o.buffer_capacity, "buffer_capacity"));
   EGI_RETURN_IF_ERROR(ReadVarintSize(r, &o.refit_interval, "refit_interval"));
+  if (version >= 2) {
+    EGI_RETURN_IF_ERROR(ReadVarintInt(r, &e.prune_to, "prune_to"));
+    uint8_t policy = 0;
+    EGI_RETURN_IF_ERROR(r.ReadU8(&policy));
+    if (policy > static_cast<uint8_t>(RefitPolicy::kAdaptive)) {
+      return Status::InvalidArgument("unknown refit policy");
+    }
+    o.refit_policy = static_cast<RefitPolicy>(policy);
+    EGI_RETURN_IF_ERROR(
+        ReadVarintSize(r, &o.refit_interval_max, "refit_interval_max"));
+    EGI_RETURN_IF_ERROR(r.ReadFiniteDouble(&o.drift_tolerance));
+  }
+  // v1 blobs predate the adaptive knobs; the defaults (no pruning, fixed
+  // cadence) reproduce exactly the behavior that wrote them.
   *out = o;
   return Status::OK();
 }
@@ -143,9 +163,18 @@ void StreamDetector::WritePayload(ByteWriter& w) const {
     serialize::WriteDoubles(w, model.position_counts);
     w.PutDouble(model.max_count);
   }
+
+  // v2: adaptive-cadence runtime state. Written unconditionally (the
+  // defaults are inert under kFixed); restored verbatim so a restored
+  // adaptive detector keeps its stretched interval and drift baseline.
+  w.PutVarint(effective_interval_);
+  w.PutBool(drift_base_set_);
+  w.PutDouble(drift_base_mean_);
+  w.PutDouble(drift_base_std_);
+  serialize::WriteRollingStats(w, drift_stats_);
 }
 
-Status StreamDetector::RestorePayload(ByteReader& r) {
+Status StreamDetector::RestorePayload(ByteReader& r, uint32_t version) {
   size_t counter = 0;
   EGI_RETURN_IF_ERROR(ReadVarintSize(r, &counter, "appended"));
   appended_ = counter;
@@ -260,6 +289,48 @@ Status StreamDetector::RestorePayload(ByteReader& r) {
     model.breakpoints = sax::GaussianBreakpoints(model.alphabet_size);
     models_.push_back(std::move(model));
   }
+
+  if (version >= 2) {
+    size_t effective = 0;
+    EGI_RETURN_IF_ERROR(ReadVarintSize(r, &effective, "effective_interval"));
+    EGI_RETURN_IF_ERROR(r.ReadBool(&drift_base_set_));
+    EGI_RETURN_IF_ERROR(r.ReadFiniteDouble(&drift_base_mean_));
+    EGI_RETURN_IF_ERROR(r.ReadFiniteDouble(&drift_base_std_));
+    EGI_RETURN_IF_ERROR(serialize::ReadRollingStats(r, &drift_stats_));
+    if (effective < options_.refit_interval ||
+        effective > EffectiveIntervalMax()) {
+      return Status::InvalidArgument(
+          "effective refit interval outside [refit_interval, "
+          "refit_interval_max]");
+    }
+    effective_interval_ = effective;
+    if (options_.refit_policy == RefitPolicy::kFixed &&
+        (effective_interval_ != options_.refit_interval || drift_base_set_ ||
+         drift_base_mean_ != 0.0 || drift_base_std_ != 0.0 ||
+         drift_stats_.count() != 0)) {
+      return Status::InvalidArgument(
+          "adaptive drift state in a fixed-policy snapshot");
+    }
+    if (drift_base_std_ < 0.0) {
+      return Status::InvalidArgument("negative drift baseline std-dev");
+    }
+    if (drift_stats_.count() >= options_.refit_interval) {
+      // Blocks are consumed by the gate the moment they complete, inside
+      // the same Append that filled them — a full block at rest is corrupt.
+      return Status::InvalidArgument("unconsumed drift block in snapshot");
+    }
+    if (drift_stats_.count() > since_refit_) {
+      return Status::InvalidArgument(
+          "drift stats count exceeds appends since the last refit");
+    }
+    if (refits_ == 0 && (drift_base_set_ || drift_stats_.count() != 0)) {
+      return Status::InvalidArgument("drift state with a zero refit count");
+    }
+  } else {
+    // v1 blob: pre-adaptive writer, so the state is the kFixed default the
+    // constructor already installed.
+    effective_interval_ = options_.refit_interval;
+  }
   return Status::OK();
 }
 
@@ -293,18 +364,19 @@ Result<StreamDetector> StreamDetector::Deserialize(
   static auto* hist = registry.GetHistogram("stream.restore_seconds");
   telemetry::ScopedTimer timer(hist);
   std::span<const uint8_t> payload;
+  uint32_t version = 0;
   EGI_RETURN_IF_ERROR(serialize::UnwrapPayload(
-      blob, serialize::BlobKind::kStreamDetector, &payload));
+      blob, serialize::BlobKind::kStreamDetector, &payload, &version));
   ByteReader r(payload);
   StreamDetectorOptions options;
-  EGI_RETURN_IF_ERROR(ReadOptions(r, &options));
+  EGI_RETURN_IF_ERROR(ReadOptions(r, version, &options));
   if (options.buffer_capacity > kMaxRestoreBufferCapacity) {
     return Status::InvalidArgument(
         "snapshot buffer_capacity exceeds the restore limit");
   }
   EGI_RETURN_IF_ERROR(ValidateOptions(options));
   StreamDetector detector(options);
-  EGI_RETURN_IF_ERROR(detector.RestorePayload(r));
+  EGI_RETURN_IF_ERROR(detector.RestorePayload(r, version));
   EGI_RETURN_IF_ERROR(r.ExpectEnd());
   registry.journal().Emit(
       "checkpoint.restore", {{"bytes", std::to_string(blob.size())},

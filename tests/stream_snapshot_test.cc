@@ -419,6 +419,10 @@ TEST(StreamSnapshotCorruptionTest, AbsurdBufferCapacityIsRejectedNotAllocated) {
   w.PutBool(true);             // boundary_correction
   w.PutVarint(uint64_t{1} << 45);  // buffer_capacity: ~2^45 points
   w.PutVarint(64);             // refit_interval
+  w.PutVarint(0);              // prune_to
+  w.PutU8(0);                  // refit_policy (fixed)
+  w.PutVarint(0);              // refit_interval_max (auto)
+  w.PutDouble(0.25);           // drift_tolerance
   const auto blob = serialize::WrapPayload(
       serialize::BlobKind::kStreamDetector, w.bytes());
   const auto st = StreamDetector::Deserialize(blob).status();
@@ -438,14 +442,21 @@ TEST(StreamSnapshotCorruptionTest, EmptyAndGarbageBlobsAreRejected) {
 
 // ------------------------------------------------------------ golden blob
 
-std::string GoldenPath() {
+// The v1 fixture is frozen history: it was written by the version-1 encoder
+// and exists to prove today's decoder still reads pre-adaptive snapshots.
+// EGI_UPDATE_GOLDEN must never rewrite it (today's encoder emits v2 bytes).
+std::string GoldenPathV1() {
   return std::string(EGI_TEST_DATA_DIR) + "/stream_snapshot_v1.bin";
+}
+
+std::string GoldenPathV2() {
+  return std::string(EGI_TEST_DATA_DIR) + "/stream_snapshot_v2.bin";
 }
 
 // The fixture generator: deterministic options + series, snapshot after 180
 // points. Run the test binary with EGI_UPDATE_GOLDEN=1 to (re)write the
-// fixture — required once per intentional format-version bump, forbidden
-// otherwise (that is the point of the test).
+// current-version fixture — required once per intentional format-version
+// bump, forbidden otherwise (that is the point of the test).
 StreamDetector GoldenDetector() {
   StreamDetectorOptions opt;
   opt.ensemble.window_length = 32;
@@ -464,20 +475,35 @@ StreamDetector GoldenDetector() {
   return detector;
 }
 
-TEST(StreamSnapshotGoldenTest, TodaysDecoderReadsTheCheckedInFixture) {
-  if (GetEnvBool("EGI_UPDATE_GOLDEN", false)) {
-    const auto blob = GoldenDetector().Serialize();
-    std::ofstream out(GoldenPath(), std::ios::binary | std::ios::trunc);
-    ASSERT_TRUE(out.good()) << "cannot write " << GoldenPath();
-    out.write(reinterpret_cast<const char*>(blob.data()),
-              static_cast<std::streamsize>(blob.size()));
-    ASSERT_TRUE(out.good());
-    GTEST_SKIP() << "golden fixture regenerated at " << GoldenPath();
-  }
+// The v2 fixture generator additionally exercises both adaptive knobs —
+// two-stage pruned construction and the drift-gated cadence — so the byte
+// layout of the v2 option fields and drift-gate runtime state is pinned.
+StreamDetector GoldenDetectorV2() {
+  StreamDetectorOptions opt;
+  opt.ensemble.window_length = 32;
+  opt.ensemble.wmax = 5;
+  opt.ensemble.amax = 5;
+  opt.ensemble.ensemble_size = 6;
+  opt.ensemble.seed = 20200317;
+  opt.ensemble.prune_to = 4;
+  opt.ensemble.parallelism = exec::Parallelism::Serial();
+  opt.buffer_capacity = 128;
+  opt.refit_interval = 50;
+  opt.refit_policy = RefitPolicy::kAdaptive;
+  opt.refit_interval_max = 200;
+  opt.drift_tolerance = 0.5;
+  StreamDetector detector(opt);
+  const auto series = TestSeries(420, /*seed=*/424242);
+  for (const double v : series) detector.Append(v);
+  return detector;
+}
 
-  std::ifstream in(GoldenPath(), std::ios::binary);
-  ASSERT_TRUE(in.good()) << "missing golden fixture " << GoldenPath()
-                         << " (run with EGI_UPDATE_GOLDEN=1 to create it)";
+TEST(StreamSnapshotGoldenTest, TodaysDecoderReadsTheV1Fixture) {
+  // Backward-read contract: the checked-in version-1 blob (written before
+  // the adaptive-cadence fields existed) must keep decoding, with the new
+  // options at their do-nothing defaults.
+  std::ifstream in(GoldenPathV1(), std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden fixture " << GoldenPathV1();
   std::vector<uint8_t> blob((std::istreambuf_iterator<char>(in)),
                             std::istreambuf_iterator<char>());
   ASSERT_FALSE(blob.empty());
@@ -485,8 +511,8 @@ TEST(StreamSnapshotGoldenTest, TodaysDecoderReadsTheCheckedInFixture) {
   // 1. Today's decoder must read the v1 fixture...
   auto restored = StreamDetector::Deserialize(blob);
   ASSERT_TRUE(restored.ok())
-      << "the checked-in v1 snapshot no longer decodes — the format drifted; "
-         "bump serialize::kSnapshotVersion and regenerate the fixture: "
+      << "the checked-in v1 snapshot no longer decodes — v1 backward-read "
+         "is part of the format contract: "
       << restored.status().ToString();
 
   // 2. ...agree on the (platform-independent) structural facts...
@@ -501,11 +527,64 @@ TEST(StreamSnapshotGoldenTest, TodaysDecoderReadsTheCheckedInFixture) {
   EXPECT_TRUE(restored->fitted());
   EXPECT_TRUE(restored->last_refit_status().ok());
 
+  // 3. ...map the absent v2 fields to their inert defaults...
+  EXPECT_EQ(restored->options().ensemble.prune_to, 0);
+  EXPECT_EQ(restored->options().refit_policy, RefitPolicy::kFixed);
+  EXPECT_EQ(restored->options().refit_interval_max, 0u);
+  EXPECT_EQ(restored->effective_refit_interval(), 50u);
+
+  // 4. ...and survive an upgrade round trip: re-encoding emits the current
+  // version, which must decode to an identical detector.
+  const auto reencoded = restored->Serialize();
+  EXPECT_NE(reencoded, blob);  // the writer emits v2 now
+  auto upgraded = StreamDetector::Deserialize(reencoded);
+  ASSERT_TRUE(upgraded.ok()) << upgraded.status().ToString();
+  ExpectDetectorsIdentical(*restored, *upgraded);
+}
+
+TEST(StreamSnapshotGoldenTest, TodaysDecoderReadsTheV2Fixture) {
+  if (GetEnvBool("EGI_UPDATE_GOLDEN", false)) {
+    const auto blob = GoldenDetectorV2().Serialize();
+    std::ofstream out(GoldenPathV2(), std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << GoldenPathV2();
+    out.write(reinterpret_cast<const char*>(blob.data()),
+              static_cast<std::streamsize>(blob.size()));
+    ASSERT_TRUE(out.good());
+    GTEST_SKIP() << "golden fixture regenerated at " << GoldenPathV2();
+  }
+
+  std::ifstream in(GoldenPathV2(), std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden fixture " << GoldenPathV2()
+                         << " (run with EGI_UPDATE_GOLDEN=1 to create it)";
+  std::vector<uint8_t> blob((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+  ASSERT_FALSE(blob.empty());
+
+  // 1. Today's decoder must read the v2 fixture...
+  auto restored = StreamDetector::Deserialize(blob);
+  ASSERT_TRUE(restored.ok())
+      << "the checked-in v2 snapshot no longer decodes — the format drifted; "
+         "bump serialize::kSnapshotVersion and regenerate the fixture: "
+      << restored.status().ToString();
+
+  // 2. ...agree on the (platform-independent) structural facts, the
+  // adaptive options included...
+  EXPECT_EQ(restored->options().ensemble.window_length, 32u);
+  EXPECT_EQ(restored->options().ensemble.prune_to, 4);
+  EXPECT_EQ(restored->options().refit_policy, RefitPolicy::kAdaptive);
+  EXPECT_EQ(restored->options().refit_interval, 50u);
+  EXPECT_EQ(restored->options().refit_interval_max, 200u);
+  EXPECT_EQ(restored->total_appended(), 420u);
+  EXPECT_TRUE(restored->fitted());
+  EXPECT_TRUE(restored->last_refit_status().ok());
+  EXPECT_GE(restored->effective_refit_interval(), 50u);
+  EXPECT_LE(restored->effective_refit_interval(), 200u);
+
   // 3. ...and re-encode it byte-for-byte (decode->encode is pure data
   // movement, so this holds on every platform; any layout change breaks it
   // here first and forces a version bump).
   EXPECT_EQ(restored->Serialize(), blob)
-      << "decode->encode no longer reproduces the v1 bytes — bump "
+      << "decode->encode no longer reproduces the v2 bytes — bump "
          "serialize::kSnapshotVersion and regenerate the fixture";
 }
 
