@@ -1,0 +1,341 @@
+// loadgen — sustained-load client for the egid daemon (tools/egid_main.cc).
+//
+// Creates `--streams` detection streams over the HTTP control plane, then
+// drives the binary ingest plane from `--conns` connection threads, each
+// multiplexing its shard of streams: per round a thread pipelines one
+// `--batch`-point frame per stream onto its connection and then collects
+// the (in-order) acks, recording one send-to-ack RTT per frame. Reports
+// sustained points/sec and frame RTT percentiles — the numbers the
+// "millions of streams" direction is steered by — as one JSON-lines record
+// (BENCH_service.json in CI) in --json mode:
+//
+//   ./build/egid --window=16 --buffer=256 &   # prints its ports
+//   ./build/loadgen --http-port=P --ingest-port=Q \
+//       --streams=10000 --conns=8 --batch=20 --rounds=10 --json
+//
+// Rejects (rate-limit / queue-full backpressure) are counted, not retried:
+// the report shows how much of the offered load the daemon admitted.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "service/frame.h"
+#include "util/rng.h"
+
+namespace egi::bench {
+namespace {
+
+int64_t FlagInt(int argc, char** argv, const char* name, int64_t fallback) {
+  const size_t len = std::strlen(name);
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--", 2) == 0 &&
+        std::strncmp(arg + 2, name, len) == 0 && arg[2 + len] == '=') {
+      return std::atoll(arg + 2 + len + 1);
+    }
+  }
+  return fallback;
+}
+
+int Connect(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+bool WriteAll(int fd, const uint8_t* data, size_t size) {
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Minimal HTTP/1.1 client call on a persistent connection: sends `request`
+/// and reads one Content-Length-framed response, returning the status code
+/// (or -1 on transport error).
+int HttpCall(int fd, const std::string& request, std::string* body) {
+  if (!WriteAll(fd, reinterpret_cast<const uint8_t*>(request.data()),
+                request.size())) {
+    return -1;
+  }
+  std::string buffer;
+  char chunk[8192];
+  size_t header_end = std::string::npos;
+  while (header_end == std::string::npos) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) return -1;
+    buffer.append(chunk, static_cast<size_t>(n));
+    header_end = buffer.find("\r\n\r\n");
+  }
+  int status = -1;
+  if (std::sscanf(buffer.c_str(), "HTTP/1.1 %d", &status) != 1) return -1;
+  size_t content_length = 0;
+  const size_t cl = buffer.find("Content-Length:");
+  if (cl != std::string::npos && cl < header_end) {
+    content_length = static_cast<size_t>(
+        std::strtoull(buffer.c_str() + cl + 15, nullptr, 10));
+  }
+  const size_t body_start = header_end + 4;
+  while (buffer.size() < body_start + content_length) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) return -1;
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+  if (body != nullptr) *body = buffer.substr(body_start, content_length);
+  return status;
+}
+
+struct ShardResult {
+  uint64_t frames = 0;
+  uint64_t points_accepted = 0;
+  uint64_t rejects = 0;
+  std::vector<double> rtt_seconds;
+  bool transport_error = false;
+};
+
+/// One connection thread: `rounds` passes over [first, first+count) stream
+/// ids, each pass pipelining one frame per stream then draining the acks.
+void RunShard(int ingest_port, size_t first, size_t count, int rounds,
+              int batch, uint64_t seed, ShardResult* result) {
+  const int fd = Connect(ingest_port);
+  if (fd < 0) {
+    result->transport_error = true;
+    return;
+  }
+  Rng rng(seed);
+  std::vector<double> values(static_cast<size_t>(batch));
+  std::vector<uint8_t> out;
+  std::vector<uint8_t> in;
+  std::vector<std::chrono::steady_clock::time_point> sent;
+  result->rtt_seconds.reserve(static_cast<size_t>(rounds) * count);
+  uint8_t chunk[64 * 1024];
+
+  for (int round = 0; round < rounds; ++round) {
+    out.clear();
+    sent.clear();
+    // Pipeline the whole shard: frames are answered in order, so the k-th
+    // response matches the k-th frame sent on this connection.
+    for (size_t s = 0; s < count; ++s) {
+      for (double& v : values) v = rng.UniformDouble();
+      out.clear();
+      service::EncodeIngestFrame(first + s, values, &out);
+      sent.push_back(std::chrono::steady_clock::now());
+      if (!WriteAll(fd, out.data(), out.size())) {
+        result->transport_error = true;
+        ::close(fd);
+        return;
+      }
+    }
+    size_t answered = 0;
+    in.clear();
+    while (answered < count) {
+      const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+      if (n <= 0) {
+        result->transport_error = true;
+        ::close(fd);
+        return;
+      }
+      in.insert(in.end(), chunk, chunk + n);
+      size_t offset = 0;
+      service::IngestResponse resp;
+      size_t consumed = 0;
+      while (answered < count &&
+             service::DecodeResponseFrame(
+                 std::span<const uint8_t>(in).subspan(offset), &resp,
+                 &consumed) == service::FrameParseResult::kComplete) {
+        offset += consumed;
+        const auto now = std::chrono::steady_clock::now();
+        result->rtt_seconds.push_back(
+            std::chrono::duration<double>(now - sent[answered]).count());
+        result->frames += 1;
+        if (resp.type == service::FrameType::kAck) {
+          result->points_accepted += static_cast<uint64_t>(batch);
+        } else {
+          result->rejects += 1;
+        }
+        ++answered;
+      }
+      in.erase(in.begin(), in.begin() + static_cast<ptrdiff_t>(offset));
+    }
+  }
+  ::close(fd);
+}
+
+double Percentile(std::vector<double>* values, double q) {
+  if (values->empty()) return 0.0;
+  const size_t rank = std::min(
+      values->size() - 1,
+      static_cast<size_t>(q * static_cast<double>(values->size())));
+  std::nth_element(values->begin(),
+                   values->begin() + static_cast<ptrdiff_t>(rank),
+                   values->end());
+  return (*values)[rank];
+}
+
+int Run(int argc, char** argv) {
+  const bool json = JsonOutputEnabled(argc, argv);
+  const bool quick = SettingsFromEnv().quick;
+  const int http_port =
+      static_cast<int>(FlagInt(argc, argv, "http-port", 0));
+  const int ingest_port =
+      static_cast<int>(FlagInt(argc, argv, "ingest-port", 0));
+  const size_t streams = static_cast<size_t>(
+      FlagInt(argc, argv, "streams", quick ? 1000 : 10000));
+  const size_t conns =
+      static_cast<size_t>(FlagInt(argc, argv, "conns", 8));
+  const int batch = static_cast<int>(FlagInt(argc, argv, "batch", 20));
+  const int rounds =
+      static_cast<int>(FlagInt(argc, argv, "rounds", quick ? 5 : 10));
+  if (http_port <= 0 || ingest_port <= 0 || streams == 0 || conns == 0 ||
+      batch <= 0 || rounds <= 0) {
+    std::fprintf(stderr,
+                 "usage: loadgen --http-port=P --ingest-port=Q "
+                 "[--streams=N] [--conns=C] [--batch=B] [--rounds=R] "
+                 "[--json]\n(points the egid banner printed at startup)\n");
+    return 2;
+  }
+
+  // Control plane: create every stream up front on one keep-alive
+  // connection (the daemon's ids are dense, so remembering the first id is
+  // enough).
+  const int http_fd = Connect(http_port);
+  if (http_fd < 0) {
+    std::fprintf(stderr, "loadgen: cannot connect to http port %d\n",
+                 http_port);
+    return 1;
+  }
+  size_t first_stream = 0;
+  const auto started_setup = std::chrono::steady_clock::now();
+  for (size_t s = 0; s < streams; ++s) {
+    const std::string body = "{\"tenant\":\"loadgen\",\"name\":\"s" +
+                             std::to_string(s) + "\"}";
+    const std::string request =
+        "POST /v1/streams HTTP/1.1\r\nHost: localhost\r\n"
+        "Content-Type: application/json\r\nContent-Length: " +
+        std::to_string(body.size()) + "\r\n\r\n" + body;
+    std::string response;
+    const int status = HttpCall(http_fd, request, &response);
+    if (status != 201) {
+      std::fprintf(stderr,
+                   "loadgen: stream create %zu failed (HTTP %d): %s\n", s,
+                   status, response.c_str());
+      ::close(http_fd);
+      return 1;
+    }
+    if (s == 0) {
+      const size_t pos = response.find("\"stream\":");
+      first_stream = pos == std::string::npos
+                         ? 0
+                         : static_cast<size_t>(std::strtoull(
+                               response.c_str() + pos + 9, nullptr, 10));
+    }
+  }
+  const double setup_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started_setup)
+          .count();
+
+  // Data plane: shard the streams over the connection threads.
+  std::vector<ShardResult> results(conns);
+  std::vector<std::thread> threads;
+  const auto started = std::chrono::steady_clock::now();
+  for (size_t c = 0; c < conns; ++c) {
+    const size_t begin = streams * c / conns;
+    const size_t end = streams * (c + 1) / conns;
+    threads.emplace_back(RunShard, ingest_port, first_stream + begin,
+                         end - begin, rounds, batch, 7000 + c, &results[c]);
+  }
+  for (std::thread& t : threads) t.join();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started)
+          .count();
+
+  uint64_t frames = 0;
+  uint64_t points = 0;
+  uint64_t rejects = 0;
+  bool transport_error = false;
+  std::vector<double> rtts;
+  for (ShardResult& r : results) {
+    frames += r.frames;
+    points += r.points_accepted;
+    rejects += r.rejects;
+    transport_error = transport_error || r.transport_error;
+    rtts.insert(rtts.end(), r.rtt_seconds.begin(), r.rtt_seconds.end());
+  }
+  const double points_per_sec =
+      seconds > 0.0 ? static_cast<double>(points) / seconds : 0.0;
+  const double p50_ms = Percentile(&rtts, 0.50) * 1e3;
+  const double p99_ms = Percentile(&rtts, 0.99) * 1e3;
+
+  if (json) {
+    JsonRecord("service_loadgen")
+        .Add("streams", static_cast<uint64_t>(streams))
+        .Add("conns", static_cast<uint64_t>(conns))
+        .Add("batch", batch)
+        .Add("rounds", rounds)
+        .Add("frames", frames)
+        .Add("points_accepted", points)
+        .Add("rejects", rejects)
+        .Add("setup_seconds", setup_seconds)
+        .Add("ingest_seconds", seconds)
+        .Add("points_per_sec", points_per_sec)
+        .Add("frame_rtt_p50_ms", p50_ms)
+        .Add("frame_rtt_p99_ms", p99_ms)
+        .Add("transport_error", transport_error)
+        .Emit(std::cout);
+  } else {
+    std::printf(
+        "loadgen: %zu streams x %d rounds x %d-point frames over %zu "
+        "connections\n  setup   %.2fs (stream creation)\n  ingest  %.2fs — "
+        "%.0f points/sec, %llu frames, %llu rejects\n  rtt     p50 %.3f ms, "
+        "p99 %.3f ms\n",
+        streams, rounds, batch, conns, setup_seconds, seconds,
+        points_per_sec, static_cast<unsigned long long>(frames),
+        static_cast<unsigned long long>(rejects), p50_ms, p99_ms);
+  }
+  ::close(http_fd);
+  return transport_error ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace egi::bench
+
+int main(int argc, char** argv) {
+  if (egi::bench::HandleStandardFlags(argc, argv)) return 0;
+  return egi::bench::Run(argc, argv);
+}

@@ -16,8 +16,6 @@
 
 #include <chrono>
 #include <cstdio>
-#include <fstream>
-#include <iterator>
 #include <vector>
 
 int main() {
@@ -51,11 +49,13 @@ int main() {
   const double snap_us = std::chrono::duration<double, std::micro>(
                              std::chrono::steady_clock::now() - snap_t0)
                              .count();
+  // WriteCheckpointFile is crash-safe: temp file + fsync + atomic rename,
+  // so a kill at any instant leaves the previous complete checkpoint (or
+  // this one), never a truncated blob.
   const char* path = "/tmp/egi_checkpoint.bin";
-  {
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    out.write(reinterpret_cast<const char*>(blob.data()),
-              static_cast<std::streamsize>(blob.size()));
+  if (const auto st = egi::WriteCheckpointFile(path, blob); !st.ok()) {
+    std::printf("checkpoint write failed: %s\n", st.ToString().c_str());
+    return 1;
   }
   std::printf(
       "checkpointed stream at point %zu: %zu bytes (%.1f us to "
@@ -65,12 +65,13 @@ int main() {
 
   // ---- the process "crashes" here; the victim stream is gone ----
 
-  std::vector<uint8_t> from_disk;
-  {
-    std::ifstream in(path, std::ios::binary);
-    from_disk.assign(std::istreambuf_iterator<char>(in),
-                     std::istreambuf_iterator<char>());
+  auto read_back = egi::ReadCheckpointFile(path);
+  if (!read_back.ok()) {
+    std::printf("checkpoint read failed: %s\n",
+                read_back.status().ToString().c_str());
+    return 1;
   }
+  const std::vector<uint8_t>& from_disk = *read_back;
   const auto restore_t0 = std::chrono::steady_clock::now();
   auto restored = egi::StreamSession::Restore(from_disk);
   const double restore_us = std::chrono::duration<double, std::micro>(

@@ -1,0 +1,32 @@
+#pragma once
+
+// Part of the installed public API (see DESIGN.md, "Public API"). Crash-safe
+// checkpoint files: the durable counterpart of StreamSession::Checkpoint()
+// and StreamHub::Checkpoint() blobs.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "egi/result.h"
+#include "egi/status.h"
+
+namespace egi {
+
+/// Writes a checkpoint blob to `path` crash-safely: the bytes are written to
+/// `path + ".tmp"`, fsync'd, then atomically renamed over `path` (and the
+/// directory entry fsync'd). A process killed at any instant — including the
+/// egid daemon's periodic checkpointer mid-write — leaves either the
+/// previous complete checkpoint or the new complete checkpoint at `path`,
+/// never a truncated blob that only fails at restore time.
+Status WriteCheckpointFile(const std::string& path,
+                           std::span<const uint8_t> blob);
+
+/// Reads a checkpoint file written by WriteCheckpointFile (NotFound when the
+/// path does not exist). Validation happens at restore time: feed the bytes
+/// to StreamSession::Restore / StreamHub::Restore, which reject every
+/// malformed blob with a Status error.
+Result<std::vector<uint8_t>> ReadCheckpointFile(const std::string& path);
+
+}  // namespace egi

@@ -13,6 +13,7 @@
 // the available detectors, and examples/ for complete programs (every
 // example compiles against these headers only).
 
+#include "egi/checkpoint.h"
 #include "egi/datasets.h"
 #include "egi/metrics.h"
 #include "egi/motif.h"

@@ -130,6 +130,16 @@ struct HubBatch {
   std::span<const double> values;
 };
 
+/// Point-in-time statistics of one hub stream (the hub-side counterpart of
+/// StreamSession's accessors; served by the egid daemon's query endpoint).
+struct HubStreamStats {
+  uint64_t total_appended = 0;  ///< points ingested since creation
+  size_t buffered = 0;          ///< points currently held in the ring
+  uint64_t refit_count = 0;     ///< completed batch refits
+  bool fitted = false;          ///< at least one refit has completed
+  size_t window_length = 0;     ///< the stream's sliding-window length n
+};
+
 /// Multi-tenant streaming façade (wraps the sharded streaming engine): owns
 /// many independent streams and shards per-stream ingest batches across the
 /// shared thread pool. Per-stream results are bitwise-identical for every
@@ -162,9 +172,29 @@ class StreamHub {
 
   size_t num_streams() const;
 
+  /// Counters and shape of one stream, read on the calling thread. The
+  /// caller must ensure the stream is not concurrently advanced (the same
+  /// single-writer rule as Ingest).
+  HubStreamStats Stats(size_t stream) const;
+
+  /// The last `max_points` entries of the stream's score curve, oldest
+  /// first (NaN for never-scored points) — what a service "latest scores"
+  /// query serves. Same synchronization rule as Stats().
+  std::vector<double> RecentScores(size_t stream, size_t max_points) const;
+
+  /// Per-section synchronization hook for Checkpoint: called as
+  /// guard(stream, true) right before that stream's section is serialized
+  /// (on the worker that serializes it) and guard(stream, false) right
+  /// after. A caller owning per-stream locks passes a guard that takes
+  /// them, making checkpoint-under-load sound: ingest on other streams
+  /// continues while the checkpoint captures a consistent point-in-time
+  /// snapshot of each stream.
+  using SectionGuard = std::function<void(size_t stream, bool acquire)>;
+
   /// Checkpoints every stream into one versioned blob (sections produced
   /// concurrently; the checksum covers all streams).
   std::vector<uint8_t> Checkpoint() const;
+  std::vector<uint8_t> Checkpoint(const SectionGuard& guard) const;
 
   /// Restores a Checkpoint() blob, replacing every current stream.
   /// All-or-nothing: on any failure the hub is left exactly as it was.

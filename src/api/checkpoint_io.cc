@@ -1,0 +1,16 @@
+#include "egi/checkpoint.h"
+
+#include "serialize/file_io.h"
+
+namespace egi {
+
+Status WriteCheckpointFile(const std::string& path,
+                           std::span<const uint8_t> blob) {
+  return serialize::WriteFileAtomic(path, blob);
+}
+
+Result<std::vector<uint8_t>> ReadCheckpointFile(const std::string& path) {
+  return serialize::ReadFileBytes(path);
+}
+
+}  // namespace egi

@@ -150,8 +150,36 @@ std::vector<StreamPoint> StreamHub::Ingest(size_t stream,
 
 size_t StreamHub::num_streams() const { return impl_->engine.num_streams(); }
 
+HubStreamStats StreamHub::Stats(size_t stream) const {
+  const stream::StreamDetector& d = impl_->engine.detector(stream);
+  HubStreamStats out;
+  out.total_appended = d.total_appended();
+  out.buffered = d.buffered();
+  out.refit_count = d.refit_count();
+  out.fitted = d.fitted();
+  out.window_length = d.window_length();
+  return out;
+}
+
+std::vector<double> StreamHub::RecentScores(size_t stream,
+                                            size_t max_points) const {
+  std::vector<double> scores =
+      impl_->engine.detector(stream).ScoresSnapshot();
+  if (scores.size() > max_points) {
+    scores.erase(scores.begin(),
+                 scores.end() - static_cast<ptrdiff_t>(max_points));
+  }
+  return scores;
+}
+
 std::vector<uint8_t> StreamHub::Checkpoint() const {
   return impl_->engine.SaveAll();
+}
+
+std::vector<uint8_t> StreamHub::Checkpoint(const SectionGuard& guard) const {
+  if (!guard) return impl_->engine.SaveAll();
+  return impl_->engine.SaveAll(
+      [&guard](stream::StreamId id, bool acquire) { guard(id, acquire); });
 }
 
 Status StreamHub::Restore(std::span<const uint8_t> blob) {

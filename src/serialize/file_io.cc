@@ -1,0 +1,111 @@
+#include "serialize/file_io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace egi::serialize {
+
+namespace {
+
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  return what + " '" + path + "': " + std::strerror(errno);
+}
+
+// Directory holding `path` ("." when the path has no separator), for the
+// post-rename directory fsync that makes the new directory entry durable.
+std::string ParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+Status WriteFileAtomic(const std::string& path,
+                       std::span<const uint8_t> bytes) {
+  const std::string tmp = path + ".tmp";
+  // O_TRUNC: a stale .tmp from a crashed previous writer is overwritten,
+  // never appended to.
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::Internal(ErrnoMessage("open", tmp));
+
+  size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status st = Status::Internal(ErrnoMessage("write", tmp));
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return st;
+    }
+    written += static_cast<size_t>(n);
+  }
+
+  // fsync before rename: the rename must never become visible while the
+  // file contents are still in flight, or a crash right after the rename
+  // would leave a truncated blob under the final name — exactly the torn
+  // checkpoint this function exists to rule out.
+  if (::fsync(fd) != 0) {
+    const Status st = Status::Internal(ErrnoMessage("fsync", tmp));
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  if (::close(fd) != 0) {
+    const Status st = Status::Internal(ErrnoMessage("close", tmp));
+    ::unlink(tmp.c_str());
+    return st;
+  }
+
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status st = Status::Internal(ErrnoMessage("rename", tmp));
+    ::unlink(tmp.c_str());
+    return st;
+  }
+
+  // Make the rename itself durable. Failure here is non-fatal for
+  // correctness (the data is safe; only the directory entry may be lost on
+  // power cut), but surface it anyway — a checkpointer wants to know.
+  const std::string dir = ParentDir(path);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    const int rc = ::fsync(dfd);
+    ::close(dfd);
+    if (rc != 0) return Status::Internal(ErrnoMessage("fsync dir", dir));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("no such file: '" + path + "'");
+    }
+    return Status::Internal(ErrnoMessage("open", path));
+  }
+  std::vector<uint8_t> out;
+  uint8_t buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status st = Status::Internal(ErrnoMessage("read", path));
+      ::close(fd);
+      return st;
+    }
+    if (n == 0) break;
+    out.insert(out.end(), buf, buf + n);
+  }
+  ::close(fd);
+  return out;
+}
+
+}  // namespace egi::serialize

@@ -33,6 +33,9 @@ inline constexpr uint32_t kMinSnapshotVersion = 1;
 enum class BlobKind : uint8_t {
   kStreamDetector = 1,  ///< one StreamDetector (StreamDetector::Serialize)
   kStreamEngine = 2,    ///< all streams of a StreamEngine (SaveAll)
+  kServiceCheckpoint = 3,  ///< egid daemon checkpoint: stream manifest
+                           ///< (tenants, names, tombstones) + the enclosed
+                           ///< StreamEngine blob (src/service/hub_service.cc)
 };
 
 /// CRC-32 (IEEE 802.3, reflected) of `data`. Snapshot payloads carry their

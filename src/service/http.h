@@ -1,0 +1,63 @@
+#pragma once
+
+// Minimal HTTP/1.1 layer for the egid control plane (src/service). Parsing
+// and rendering are socket-free — they consume and produce byte buffers —
+// so the protocol is unit-testable in-process; src/service/server.cc owns
+// the actual file descriptors. Deliberately small: no chunked encoding, no
+// multipart, no TLS — the control plane is JSON request/response bodies
+// behind Content-Length, which is all a detection daemon needs.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace egi::service {
+
+/// One parsed control-plane request.
+struct HttpRequest {
+  std::string method;  ///< "GET", "POST", "DELETE", ... (uppercase)
+  std::string path;    ///< request target up to '?', e.g. "/v1/streams/3"
+  std::string query;   ///< raw query string after '?', "" when absent
+  std::vector<std::pair<std::string, std::string>> headers;  ///< names lowered
+  std::string body;
+
+  /// Case-insensitive header lookup; empty string when absent.
+  std::string_view Header(std::string_view name) const;
+
+  /// Integer query parameter (`?tail=50`), or `fallback` when absent or
+  /// malformed.
+  long QueryInt(std::string_view key, long fallback) const;
+};
+
+/// Incremental request parser outcome.
+enum class HttpParseResult {
+  kNeedMore,   ///< the buffer does not yet hold one complete request
+  kComplete,   ///< one request parsed; `consumed` bytes can be discarded
+  kMalformed,  ///< not HTTP — close the connection
+};
+
+/// Maximum accepted header block + body sizes: the control plane carries
+/// small JSON documents, so anything larger is a protocol error (or abuse),
+/// not a legitimate request.
+inline constexpr size_t kMaxHttpHeaderBytes = 16 * 1024;
+inline constexpr size_t kMaxHttpBodyBytes = 1 * 1024 * 1024;
+
+/// Tries to parse one complete request from the front of `buffer`. On
+/// kComplete, `*out` is filled and `*consumed` is the number of bytes the
+/// request occupied (pipelined remainders stay in the buffer).
+HttpParseResult ParseHttpRequest(std::string_view buffer, HttpRequest* out,
+                                 size_t* consumed);
+
+/// Renders a complete HTTP/1.1 response with Content-Length and the given
+/// content type (JSON unless stated otherwise). `status` is the numeric
+/// code; the reason phrase is derived.
+std::string RenderHttpResponse(int status, std::string_view body,
+                               std::string_view content_type =
+                                   "application/json");
+
+/// `{"error":"<escaped message>"}` body with the given status.
+std::string RenderHttpError(int status, std::string_view message);
+
+}  // namespace egi::service

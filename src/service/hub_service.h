@@ -1,0 +1,164 @@
+#pragma once
+
+// The egid daemon's socket-free core (src/service): a multi-tenant
+// StreamHub wrapped with everything the network layer needs but the library
+// deliberately does not provide — admission control, asynchronous bounded
+// ingest queues, and durable checkpoints. server.cc plugs sockets into the
+// two entry points (Handle for HTTP control-plane requests, HandleIngest
+// for binary data-plane frames); tests drive both in-process.
+//
+// Concurrency model (see DESIGN.md, "Service architecture"):
+//  - A shared_mutex guards the stream table's *shape*: CreateStream /
+//    DeleteStream / RestoreFromDisk take it exclusively, every other
+//    operation shared. Stream ids are dense hub indices; deletion is a
+//    tombstone so ids stay positionally stable across checkpoint/restore.
+//  - Each stream has a small queue mutex (accept path: bounded queue,
+//    accepted counter) and a detect mutex (score path: the hub detector).
+//    Frame handlers only ever touch the queue mutex, so a slow refit never
+//    blocks the TCP threads — backpressure is an immediate reject frame,
+//    not a stalled socket.
+//  - Worker threads drain queues stream-at-a-time (a scheduled flag keeps a
+//    stream on at most one worker, preserving append order) and advance the
+//    detector under the detect mutex.
+//  - CheckpointNow serializes every stream through StreamHub's SectionGuard
+//    taking the same detect mutexes, so a checkpoint under full ingest load
+//    captures a consistent point-in-time snapshot of each stream, then
+//    lands on disk via serialize::WriteFileAtomic (crash leaves the
+//    previous complete checkpoint). Queued-but-unscored points are *not*
+//    part of a checkpoint: an ack means "accepted", durability begins once
+//    a point has been scored into a checkpointed detector. Clients that
+//    need exactly-once resumption reconcile against `accepted_total` after
+//    a reconnect.
+//  - Tenant quotas: max streams per tenant, and a token-bucket points/sec
+//    rate. The bucket clock is injectable so quota tests are deterministic.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "egi/result.h"
+#include "egi/session.h"
+#include "egi/status.h"
+#include "service/frame.h"
+#include "service/http.h"
+
+namespace egi::service {
+
+struct HubServiceOptions {
+  /// Registry spec for the detector every stream runs (must support
+  /// streaming).
+  std::string spec = "ensemble";
+  /// Stream shape shared by every stream; window_length must be set.
+  StreamOptions stream;
+  /// Checkpoint file path; empty disables persistence (CheckpointNow
+  /// becomes an error, RestoreFromDisk a no-op).
+  std::string checkpoint_path;
+  /// Bounded per-stream ingest queue, in points. A frame that does not fit
+  /// entirely is rejected (kQueueFull) — the queue never grows past this.
+  size_t queue_capacity = 8192;
+  /// Streams a single tenant may hold (tombstoned streams do not count);
+  /// 0 = unlimited.
+  size_t max_streams_per_tenant = 0;
+  /// Token-bucket refill rate per tenant, in points/second; 0 = unlimited.
+  double points_per_second = 0.0;
+  /// Bucket capacity in points; 0 = one second's worth at the refill rate.
+  double quota_burst = 0.0;
+  /// Queue-drain worker threads.
+  size_t num_workers = 2;
+  /// Monotonic nanosecond clock for the token buckets; null = steady_clock.
+  /// Injectable so quota behavior is testable without sleeping.
+  std::function<uint64_t()> now_ns;
+};
+
+/// Wire-independent stream listing entry (the JSON list/query endpoints
+/// render these).
+struct StreamInfo {
+  size_t stream = 0;
+  std::string tenant;
+  std::string name;
+  uint64_t accepted_total = 0;
+  uint64_t scored_total = 0;
+  size_t queued = 0;
+  double last_score = 0.0;
+  bool last_scored = false;
+  HubStreamStats stats;
+};
+
+class HubService {
+ public:
+  /// Builds the service: opens the Session, validates options, starts the
+  /// drain workers, and — when a checkpoint file exists — restores it.
+  static Result<std::unique_ptr<HubService>> Create(HubServiceOptions options);
+
+  ~HubService();
+  HubService(const HubService&) = delete;
+  HubService& operator=(const HubService&) = delete;
+
+  // ------------------------------------------------------------ data plane
+
+  /// Admits (or rejects) one decoded ingest frame. Never blocks on detector
+  /// work: the points are queued and the response reports queue-accept
+  /// totals plus the most recent score.
+  IngestResponse HandleIngest(const IngestRequest& request);
+
+  // --------------------------------------------------------- control plane
+
+  /// Routes one control-plane request and returns the complete HTTP
+  /// response. Endpoints: GET /healthz, GET /metrics, POST /v1/streams,
+  /// GET /v1/streams, GET /v1/streams/<id>[?tail=K], DELETE
+  /// /v1/streams/<id>, POST /v1/flush, POST /v1/checkpoint.
+  std::string Handle(const HttpRequest& request);
+
+  // ----------------------------------------------------------- operations
+
+  /// Creates a stream for `tenant` (enforcing the per-tenant stream quota)
+  /// and returns its id.
+  Result<size_t> CreateStream(std::string tenant, std::string name);
+
+  /// Tombstones a stream: further frames are rejected with kUnknownStream,
+  /// the id is never reused, and the tombstone persists across
+  /// checkpoint/restore.
+  Status DeleteStream(size_t stream);
+
+  /// Point-in-time listing of one stream / all live streams.
+  Result<StreamInfo> Describe(size_t stream) const;
+  std::vector<StreamInfo> List() const;
+
+  /// Latest `max_points` scores of a stream, oldest first.
+  Result<std::vector<double>> RecentScores(size_t stream,
+                                           size_t max_points) const;
+
+  /// Blocks until every queued point has been scored (with quiescent
+  /// producers; concurrent ingest can re-raise the pending count).
+  void Flush();
+
+  /// Serializes every stream (consistent under concurrent ingest, see the
+  /// header comment) and atomically replaces the checkpoint file.
+  Status CheckpointNow();
+
+  /// Loads the checkpoint file, replacing all streams. Missing file = OK
+  /// fresh start. Called by Create; exposed for tests.
+  Status RestoreFromDisk();
+
+  /// Enters drain mode: every subsequent frame is rejected with kDraining
+  /// and stream creation fails. Idempotent.
+  void BeginDrain();
+
+  /// Graceful shutdown: BeginDrain, Flush, stop the workers, and write a
+  /// final checkpoint (when persistence is configured). Idempotent; also
+  /// run by the destructor minus the checkpoint-error reporting.
+  Status Shutdown();
+
+  size_t num_streams() const;
+  bool draining() const;
+
+ private:
+  struct Impl;
+  explicit HubService(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace egi::service

@@ -1,0 +1,70 @@
+#pragma once
+
+// The egid daemon's socket layer (src/service): owns the listening sockets
+// and connection threads, and nothing else — every byte that arrives is
+// handed to the socket-free HubService (hub_service.h), which is where all
+// the logic and all the unit tests live.
+//
+// Two listeners:
+//  - the HTTP control plane (http.h): stream CRUD, queries, /metrics,
+//    /healthz, keep-alive with pipelining;
+//  - the binary ingest plane (frame.h): length-prefixed point frames, one
+//    ack/reject per frame, many streams multiplexed per connection.
+//
+// Shutdown: RequestStop() just sets an atomic flag (async-signal-safe, so
+// the SIGTERM/SIGINT handler may call it). Wait() notices within one poll
+// timeout, stops accepting, lets in-flight connections finish their current
+// request, then runs the HubService drain (reject new work → flush queues →
+// final checkpoint).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "egi/status.h"
+#include "service/hub_service.h"
+
+namespace egi::service {
+
+struct ServerOptions {
+  std::string bind_address = "127.0.0.1";
+  /// Ports to listen on; 0 picks an ephemeral port (read back via
+  /// http_port()/ingest_port() — the tests and the smoke script do this).
+  int http_port = 0;
+  int ingest_port = 0;
+  /// Seconds between periodic background checkpoints; 0 disables the timer
+  /// (explicit POST /v1/checkpoint still works).
+  double checkpoint_interval_seconds = 0.0;
+};
+
+class Server {
+ public:
+  /// `service` must outlive the server.
+  Server(HubService* service, ServerOptions options);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds and listens on both ports and starts the accept loops (plus the
+  /// checkpoint timer when configured). Returns an error without side
+  /// effects if either port cannot be bound.
+  Status Start();
+
+  /// Actual bound ports (after Start).
+  int http_port() const;
+  int ingest_port() const;
+
+  /// Flags the server to stop. Async-signal-safe: one relaxed atomic store.
+  void RequestStop();
+
+  /// Blocks until RequestStop, then performs the full graceful drain and
+  /// returns the final checkpoint's status (OK when persistence is off).
+  Status Wait();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace egi::service

@@ -89,14 +89,27 @@ std::vector<ScoredPoint> StreamEngine::Ingest(StreamId id,
   return out;
 }
 
-std::vector<uint8_t> StreamEngine::SaveAll() const {
+std::vector<uint8_t> StreamEngine::SaveAll(const SectionGuard& guard) const {
   // Per-stream detector blobs, produced concurrently. Each blob is a full
   // detector snapshot (own envelope + checksum), so a section extracted
   // from an engine checkpoint is restorable on its own — the unit a future
   // multi-node resharding would migrate.
   std::vector<std::vector<uint8_t>> sections(streams_.size());
   exec::ParallelFor(options_.parallelism, 0, streams_.size(), /*grain=*/1,
-                    [&](size_t i) { sections[i] = streams_[i]->Serialize(); });
+                    [&](size_t i) {
+                      if (!guard) {
+                        sections[i] = streams_[i]->Serialize();
+                        return;
+                      }
+                      guard(i, /*acquire=*/true);
+                      try {
+                        sections[i] = streams_[i]->Serialize();
+                      } catch (...) {
+                        guard(i, /*acquire=*/false);
+                        throw;
+                      }
+                      guard(i, /*acquire=*/false);
+                    });
 
   serialize::ByteWriter w;
   w.PutVarint(sections.size());

@@ -72,6 +72,17 @@ class StreamEngine {
   const StreamDetector& detector(StreamId id) const;
   StreamDetector& detector(StreamId id);
 
+  /// Per-section synchronization hook for SaveAll: invoked as
+  /// guard(id, true) immediately before stream id's snapshot is serialized
+  /// (on the pool worker that serializes it) and guard(id, false)
+  /// immediately after — even if serialization throws. A caller that owns
+  /// per-stream locks can hand SaveAll a guard that takes stream id's lock,
+  /// making checkpoint-under-load sound: ingest on *other* streams proceeds
+  /// concurrently, and each captured section is a consistent point-in-time
+  /// snapshot of its stream (the egid daemon's checkpointer does exactly
+  /// this; tests/stream_engine_test.cc races it against live ingest).
+  using SectionGuard = std::function<void(StreamId, bool acquire)>;
+
   /// Checkpoints every stream into one versioned engine blob: each
   /// detector's snapshot payload is produced concurrently (sharded across
   /// the exec pool, one stream per worker — the Ingest sharding rule), then
@@ -79,7 +90,12 @@ class StreamEngine {
   /// streams. Stream ids are positional: blob section i restores stream i.
   /// Callbacks are delivery plumbing, not model state, and are not captured
   /// (DESIGN.md "Snapshot format").
-  std::vector<uint8_t> SaveAll() const;
+  ///
+  /// Without a guard the caller must guarantee no stream is concurrently
+  /// mutated; with one, only the structural set of streams must be stable
+  /// (no concurrent AddStream/LoadAll).
+  std::vector<uint8_t> SaveAll() const { return SaveAll(SectionGuard()); }
+  std::vector<uint8_t> SaveAll(const SectionGuard& guard) const;
 
   /// Restores a SaveAll() checkpoint, replacing every current stream.
   /// All-or-nothing: sections are decoded concurrently through the pool,

@@ -10,13 +10,31 @@
 
 namespace egi {
 
+namespace {
+
+// strtoll/strtod skip leading whitespace themselves; skip it after the
+// number too, so " 4" and "4 " parse symmetrically (daemon config files and
+// shell-exported values routinely carry a stray trailing space).
+const char* SkipTrailingSpace(const char* p) {
+  while (p != nullptr && *p != '\0' &&
+         std::isspace(static_cast<unsigned char>(*p))) {
+    ++p;
+  }
+  return p;
+}
+
+}  // namespace
+
 int64_t GetEnvInt(const char* name, int64_t fallback) {
   const char* raw = std::getenv(name);
   if (raw == nullptr || *raw == '\0') return fallback;
   char* end = nullptr;
   errno = 0;
   long long v = std::strtoll(raw, &end, 10);
-  if (end == raw || (end != nullptr && *end != '\0')) return fallback;
+  if (end == raw) return fallback;
+  if (const char* rest = SkipTrailingSpace(end); rest != nullptr && *rest != '\0') {
+    return fallback;
+  }
   // Out-of-range values saturate to LLONG_MIN/MAX with errno == ERANGE;
   // treat them as unparsable rather than silently using the clamp.
   if (errno == ERANGE) return fallback;
@@ -29,6 +47,9 @@ bool GetEnvBool(const char* name, bool fallback) {
   std::string v(raw);
   std::transform(v.begin(), v.end(), v.begin(),
                  [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  const auto is_space = [](unsigned char c) { return std::isspace(c) != 0; };
+  while (!v.empty() && is_space(static_cast<unsigned char>(v.front()))) v.erase(v.begin());
+  while (!v.empty() && is_space(static_cast<unsigned char>(v.back()))) v.pop_back();
   if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
   if (v == "0" || v == "false" || v == "no" || v == "off") return false;
   return fallback;
@@ -40,7 +61,10 @@ double GetEnvDouble(const char* name, double fallback) {
   char* end = nullptr;
   errno = 0;
   double v = std::strtod(raw, &end);
-  if (end == raw || (end != nullptr && *end != '\0')) return fallback;
+  if (end == raw) return fallback;
+  if (const char* rest = SkipTrailingSpace(end); rest != nullptr && *rest != '\0') {
+    return fallback;
+  }
   // Overflow saturates to +/-HUGE_VAL with errno == ERANGE; fall back
   // instead of using the saturation. Underflow also sets ERANGE but yields
   // a representable subnormal (or zero), which is kept as parsed.

@@ -1,6 +1,7 @@
 #include "util/json.h"
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 
 namespace egi {
@@ -22,10 +23,20 @@ std::string JsonEscape(std::string_view s) {
       case '\t':
         out += "\\t";
         break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
           char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
           out += buf;
         } else {
           out += c;
@@ -33,6 +44,96 @@ std::string JsonEscape(std::string_view s) {
     }
   }
   return out;
+}
+
+namespace {
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+// Appends the UTF-8 encoding of a code point (callers validated the range).
+void AppendUtf8(std::string& out, uint32_t cp) {
+  if (cp < 0x80) {
+    out += static_cast<char>(cp);
+  } else if (cp < 0x800) {
+    out += static_cast<char>(0xC0 | (cp >> 6));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else if (cp < 0x10000) {
+    out += static_cast<char>(0xE0 | (cp >> 12));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else {
+    out += static_cast<char>(0xF0 | (cp >> 18));
+    out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  }
+}
+
+}  // namespace
+
+bool JsonUnescape(std::string_view s, std::string* out) {
+  out->clear();
+  out->reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c != '\\') {
+      // A raw quote or control character inside string contents is invalid
+      // JSON — reject rather than pass through, so the round-trip contract
+      // (JsonUnescape(JsonEscape(x)) == x, and only escaped forms accepted)
+      // holds exactly.
+      if (c == '"' || static_cast<unsigned char>(c) < 0x20) return false;
+      *out += c;
+      continue;
+    }
+    if (++i >= s.size()) return false;
+    switch (s[i]) {
+      case '"': *out += '"'; break;
+      case '\\': *out += '\\'; break;
+      case '/': *out += '/'; break;
+      case 'n': *out += '\n'; break;
+      case 't': *out += '\t'; break;
+      case 'r': *out += '\r'; break;
+      case 'b': *out += '\b'; break;
+      case 'f': *out += '\f'; break;
+      case 'u': {
+        if (i + 4 >= s.size()) return false;
+        uint32_t cp = 0;
+        for (int k = 1; k <= 4; ++k) {
+          const int h = HexValue(s[i + static_cast<size_t>(k)]);
+          if (h < 0) return false;
+          cp = (cp << 4) | static_cast<uint32_t>(h);
+        }
+        i += 4;
+        if (cp >= 0xD800 && cp <= 0xDBFF) {
+          // High surrogate: a low surrogate escape must follow.
+          if (i + 6 >= s.size() || s[i + 1] != '\\' || s[i + 2] != 'u') {
+            return false;
+          }
+          uint32_t lo = 0;
+          for (int k = 3; k <= 6; ++k) {
+            const int h = HexValue(s[i + static_cast<size_t>(k)]);
+            if (h < 0) return false;
+            lo = (lo << 4) | static_cast<uint32_t>(h);
+          }
+          if (lo < 0xDC00 || lo > 0xDFFF) return false;
+          i += 6;
+          cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+        } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+          return false;  // lone low surrogate
+        }
+        AppendUtf8(*out, cp);
+        break;
+      }
+      default:
+        return false;
+    }
+  }
+  return true;
 }
 
 std::string JsonQuote(std::string_view s) {

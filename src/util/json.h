@@ -15,6 +15,15 @@ std::string JsonEscape(std::string_view s);
 /// `"escaped"` — `s` escaped and wrapped in double quotes.
 std::string JsonQuote(std::string_view s);
 
+/// Inverse of JsonEscape: decodes the *contents* of a JSON string literal
+/// (no surrounding quotes) into `out`. Handles every escape JSON defines,
+/// including \uXXXX (with surrogate pairs). Returns false on malformed
+/// input — truncated escapes, bad hex, lone surrogates, or raw quote /
+/// control bytes that a conforming encoder would have escaped. Used by the
+/// service control plane to read client-supplied JSON fields, and by the
+/// hostile-label round-trip tests.
+bool JsonUnescape(std::string_view s, std::string* out);
+
 /// Shortest decimal rendering of `value` that round-trips through strtod;
 /// non-finite values render as `null` (JSON has no NaN/Inf literal).
 std::string JsonNumber(double value);

@@ -1,8 +1,12 @@
+#include <fcntl.h>
 #include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <bit>
 #include <cmath>
 #include <cstdint>
+#include <filesystem>
 #include <limits>
 #include <string>
 #include <vector>
@@ -11,6 +15,7 @@
 #include "sax/word_code.h"
 #include "serialize/bytes.h"
 #include "serialize/codecs.h"
+#include "serialize/file_io.h"
 #include "serialize/format.h"
 #include "stream/rolling_stats.h"
 #include "util/rng.h"
@@ -538,6 +543,94 @@ TEST(EnvelopeTest, Crc32MatchesKnownVector) {
   // The classic check value: CRC-32("123456789") = 0xCBF43926.
   const uint8_t data[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
   EXPECT_EQ(Crc32(data), 0xCBF43926u);
+}
+
+// ------------------------------------------------- atomic checkpoint files
+
+class FileIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("egi_file_io_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+    path_ = (dir_ / "checkpoint.bin").string();
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  static std::vector<uint8_t> Blob(uint8_t fill, size_t n) {
+    return std::vector<uint8_t>(n, fill);
+  }
+
+  std::filesystem::path dir_;
+  std::string path_;
+};
+
+TEST_F(FileIoTest, WriteReadRoundTrip) {
+  const auto blob = Blob(0xA5, 4096);
+  ASSERT_TRUE(WriteFileAtomic(path_, blob).ok());
+  auto back = ReadFileBytes(path_);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, blob);
+  // No temp residue after a successful write.
+  EXPECT_FALSE(std::filesystem::exists(path_ + ".tmp"));
+}
+
+TEST_F(FileIoTest, ReadMissingIsNotFound) {
+  auto missing = ReadFileBytes(path_);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(FileIoTest, OverwriteReplacesWholeFile) {
+  ASSERT_TRUE(WriteFileAtomic(path_, Blob(1, 1 << 16)).ok());
+  ASSERT_TRUE(WriteFileAtomic(path_, Blob(2, 16)).ok());  // much shorter
+  auto back = ReadFileBytes(path_);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, Blob(2, 16));
+}
+
+TEST_F(FileIoTest, KillDuringCheckpointKeepsPreviousCheckpoint) {
+  // The torn-checkpoint regression test. A checkpointer killed mid-write
+  // leaves exactly one artifact: a partial `path.tmp` (the direct-to-path
+  // writer it replaces left a truncated blob at `path` instead, which only
+  // failed at restore time). Simulate the kill in a real child process:
+  // the child writes half the new checkpoint to the temp file and dies
+  // before fsync/rename, the way SIGKILL would land mid-checkpoint.
+  const auto v1 = WrapPayload(BlobKind::kStreamEngine, Blob(0x11, 1 << 14));
+  ASSERT_TRUE(WriteFileAtomic(path_, v1).ok());
+
+  const auto v2 = WrapPayload(BlobKind::kStreamEngine, Blob(0x22, 1 << 14));
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: begin writing v2 the way WriteFileAtomic does, then die
+    // mid-write (no fsync, no rename) — _exit so no destructors run.
+    const std::string tmp = path_ + ".tmp";
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) ::_exit(2);
+    (void)!::write(fd, v2.data(), v2.size() / 2);
+    ::_exit(0);
+  }
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
+  ASSERT_TRUE(WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0);
+
+  // The "crashed" writer left a partial temp file but the previous complete
+  // checkpoint survives at the final path and still validates end to end.
+  EXPECT_TRUE(std::filesystem::exists(path_ + ".tmp"));
+  auto back = ReadFileBytes(path_);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, v1);
+  std::span<const uint8_t> payload;
+  EXPECT_TRUE(UnwrapPayload(*back, BlobKind::kStreamEngine, &payload).ok());
+
+  // The next successful checkpoint replaces both the file and the residue.
+  ASSERT_TRUE(WriteFileAtomic(path_, v2).ok());
+  back = ReadFileBytes(path_);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, v2);
+  EXPECT_FALSE(std::filesystem::exists(path_ + ".tmp"));
 }
 
 }  // namespace

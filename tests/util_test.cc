@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
+#include <string_view>
 #include <limits>
 #include <fstream>
 #include <set>
@@ -10,6 +12,7 @@
 
 #include "util/csv.h"
 #include "util/env.h"
+#include "util/json.h"
 #include "util/result.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -335,6 +338,124 @@ TEST(EnvTest, StringFallback) {
   ::setenv("EGI_TEST_STR", "value", 1);
   EXPECT_EQ(GetEnvString("EGI_TEST_STR", "dflt"), "value");
   ::unsetenv("EGI_TEST_STR");
+}
+
+TEST(EnvTest, IntWhitespaceSymmetric) {
+  // strtoll accepts leading whitespace; trailing whitespace must be
+  // accepted symmetrically (daemon config leans on these parsers).
+  ::setenv("EGI_TEST_INT", " 4", 1);
+  EXPECT_EQ(GetEnvInt("EGI_TEST_INT", 7), 4);
+  ::setenv("EGI_TEST_INT", "4 ", 1);
+  EXPECT_EQ(GetEnvInt("EGI_TEST_INT", 7), 4);
+  ::setenv("EGI_TEST_INT", " 4 \t\n", 1);
+  EXPECT_EQ(GetEnvInt("EGI_TEST_INT", 7), 4);
+  // Whitespace *inside* the number, or garbage after the spaces, still
+  // falls back — the skip only widens the boundary, never the grammar.
+  ::setenv("EGI_TEST_INT", "4 2", 1);
+  EXPECT_EQ(GetEnvInt("EGI_TEST_INT", 7), 7);
+  ::setenv("EGI_TEST_INT", "4 x", 1);
+  EXPECT_EQ(GetEnvInt("EGI_TEST_INT", 7), 7);
+  ::setenv("EGI_TEST_INT", "   ", 1);
+  EXPECT_EQ(GetEnvInt("EGI_TEST_INT", 7), 7);
+  ::unsetenv("EGI_TEST_INT");
+}
+
+TEST(EnvTest, DoubleWhitespaceSymmetric) {
+  ::setenv("EGI_TEST_DBL", " 0.25", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("EGI_TEST_DBL", 1.0), 0.25);
+  ::setenv("EGI_TEST_DBL", "0.25 ", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("EGI_TEST_DBL", 1.0), 0.25);
+  ::setenv("EGI_TEST_DBL", "\t0.25\t", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("EGI_TEST_DBL", 1.0), 0.25);
+  ::setenv("EGI_TEST_DBL", "0.2 5", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("EGI_TEST_DBL", 1.0), 1.0);
+  ::setenv("EGI_TEST_DBL", " ", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("EGI_TEST_DBL", 1.0), 1.0);
+  ::unsetenv("EGI_TEST_DBL");
+}
+
+TEST(EnvTest, BoolWhitespaceTolerant) {
+  ::setenv("EGI_TEST_BOOL", " true ", 1);
+  EXPECT_TRUE(GetEnvBool("EGI_TEST_BOOL", false));
+  ::setenv("EGI_TEST_BOOL", "0\n", 1);
+  EXPECT_FALSE(GetEnvBool("EGI_TEST_BOOL", true));
+  ::unsetenv("EGI_TEST_BOOL");
+}
+
+// ------------------------------------------------------------------- JSON
+
+// Hostile label strings of the kind the egid daemon's /metrics endpoint
+// exposes to real parsers: quotes, backslashes, control characters, DEL,
+// multi-byte UTF-8.
+const char* const kHostileStrings[] = {
+    "plain",
+    "quote\"inside",
+    "back\\slash",
+    "both\\\"mixed\\\"",
+    "new\nline\ttab\rcr",
+    "bell\x07null-adjacent\x01\x1f",
+    "backspace\b formfeed\f",
+    "trailing backslash\\",
+    "\"", "\\", "",
+    "unicode \xc3\xa9\xe2\x82\xac ok",
+    "del\x7f char",
+};
+
+TEST(JsonTest, EscapeUnescapeRoundTripsHostileStrings) {
+  for (const char* s : kHostileStrings) {
+    const std::string escaped = JsonEscape(s);
+    // The escaped form must contain no raw control character, and
+    // JsonUnescape (which rejects unescaped quotes and controls) must
+    // accept it — together: safe inside a JSON string literal.
+    for (const char c : escaped) {
+      EXPECT_GE(static_cast<unsigned char>(c), 0x20) << s;
+    }
+    std::string decoded;
+    ASSERT_TRUE(JsonUnescape(escaped, &decoded)) << s;
+    EXPECT_EQ(decoded, s);
+  }
+}
+
+TEST(JsonTest, EscapeUsesShortFormsForCommonControls) {
+  EXPECT_EQ(JsonEscape("\n\t\r\b\f"), "\\n\\t\\r\\b\\f");
+  EXPECT_EQ(JsonEscape("\x01"), "\\u0001");
+  EXPECT_EQ(JsonEscape("q\"b\\"), "q\\\"b\\\\");
+}
+
+TEST(JsonTest, QuoteWrapsEscaped) {
+  EXPECT_EQ(JsonQuote("a\"b"), "\"a\\\"b\"");
+}
+
+TEST(JsonTest, UnescapeHandlesUnicodeEscapes) {
+  std::string out;
+  ASSERT_TRUE(JsonUnescape("caf\\u00e9", &out));
+  EXPECT_EQ(out, "caf\xc3\xa9");
+  ASSERT_TRUE(JsonUnescape("\\u20ac", &out));
+  EXPECT_EQ(out, "\xe2\x82\xac");
+  // Surrogate pair: U+1F600.
+  ASSERT_TRUE(JsonUnescape("\\ud83d\\ude00", &out));
+  EXPECT_EQ(out, "\xf0\x9f\x98\x80");
+  ASSERT_TRUE(JsonUnescape("\\/", &out));
+  EXPECT_EQ(out, "/");
+}
+
+TEST(JsonTest, UnescapeRejectsMalformed) {
+  std::string out;
+  EXPECT_FALSE(JsonUnescape("trailing\\", &out));
+  EXPECT_FALSE(JsonUnescape("\\q", &out));
+  EXPECT_FALSE(JsonUnescape("\\u12", &out));
+  EXPECT_FALSE(JsonUnescape("\\u12zz", &out));
+  EXPECT_FALSE(JsonUnescape("\\ud800 lone high", &out));
+  EXPECT_FALSE(JsonUnescape("\\udc00 lone low", &out));
+  EXPECT_FALSE(JsonUnescape("raw\"quote", &out));
+  EXPECT_FALSE(JsonUnescape(std::string_view("raw\nnewline", 11), &out));
+}
+
+TEST(JsonTest, NumberRendersRoundTrippableOrNull) {
+  EXPECT_EQ(JsonNumber(std::nan("")), "null");
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::infinity()), "null");
+  const std::string rendered = JsonNumber(0.1);
+  EXPECT_DOUBLE_EQ(std::strtod(rendered.c_str(), nullptr), 0.1);
 }
 
 // ------------------------------------------------------------------ Table

@@ -1,0 +1,159 @@
+// egid — the ensemble grammar-induction detection daemon.
+//
+// Hosts a multi-tenant streaming detector hub behind two TCP planes (see
+// src/service/): an HTTP/1.1 JSON control plane (stream CRUD, score
+// queries, /metrics, /healthz) and a length-prefixed binary frame protocol
+// for point ingest with per-tenant quotas and bounded-queue backpressure.
+// Periodic atomic checkpoints make a SIGKILL survivable: on restart the
+// daemon restores the last complete checkpoint and every stream continues
+// bitwise-identically from its captured state.
+//
+// Configuration is flags first, environment second (every flag has an
+// EGID_* env twin, parsed with the util/env.h helpers):
+//
+//   egid --http-port=8080 --ingest-port=8081 \
+//        --checkpoint=/var/lib/egid/checkpoint.egis \
+//        --checkpoint-interval=30 --window=64
+//
+// On startup egid prints one line to stdout:
+//   egid ready http=<port> ingest=<port> streams=<n>
+// which the smoke script and loadgen parse to find ephemeral ports.
+// SIGTERM/SIGINT trigger a clean drain: stop accepting, reject new frames,
+// score everything queued, write a final checkpoint, exit 0.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "service/hub_service.h"
+#include "service/server.h"
+#include "util/env.h"
+
+namespace {
+
+egi::service::Server* g_server = nullptr;
+
+void HandleSignal(int) {
+  if (g_server != nullptr) g_server->RequestStop();  // one atomic store
+}
+
+// --name=value (or --name value) flag reader over argv, with an env twin.
+struct Flags {
+  int argc;
+  char** argv;
+
+  const char* Find(const char* name) const {
+    const size_t len = std::strlen(name);
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strncmp(arg, "--", 2) != 0) continue;
+      if (std::strncmp(arg + 2, name, len) != 0) continue;
+      if (arg[2 + len] == '=') return arg + 2 + len + 1;
+      if (arg[2 + len] == '\0' && i + 1 < argc) return argv[i + 1];
+    }
+    return nullptr;
+  }
+
+  int64_t Int(const char* name, const char* env, int64_t fallback) const {
+    if (const char* v = Find(name); v != nullptr) return std::atoll(v);
+    return egi::GetEnvInt(env, fallback);
+  }
+  double Double(const char* name, const char* env, double fallback) const {
+    if (const char* v = Find(name); v != nullptr) return std::atof(v);
+    return egi::GetEnvDouble(env, fallback);
+  }
+  std::string Str(const char* name, const char* env,
+                  const std::string& fallback) const {
+    if (const char* v = Find(name); v != nullptr) return v;
+    return egi::GetEnvString(env, fallback);
+  }
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: egid [--http-port=N] [--ingest-port=N] [--bind=ADDR]\n"
+               "            [--spec=SPEC] [--window=N] [--buffer=N]\n"
+               "            [--refit-interval=N] [--queue-capacity=N]\n"
+               "            [--workers=N] [--max-streams-per-tenant=N]\n"
+               "            [--points-per-second=R] [--quota-burst=N]\n"
+               "            [--checkpoint=PATH] [--checkpoint-interval=SEC]\n"
+               "Every flag has an EGID_* environment twin (EGID_HTTP_PORT,\n"
+               "EGID_CHECKPOINT, ...). Ports default to 0 = ephemeral.\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      return Usage();
+    }
+  }
+  const Flags flags{argc, argv};
+
+  egi::service::HubServiceOptions options;
+  options.spec = flags.Str("spec", "EGID_SPEC", "ensemble");
+  options.stream.window_length = static_cast<size_t>(
+      flags.Int("window", "EGID_WINDOW", 64));
+  options.stream.buffer_capacity = static_cast<size_t>(
+      flags.Int("buffer", "EGID_BUFFER", 4096));
+  options.stream.refit_interval = static_cast<size_t>(
+      flags.Int("refit-interval", "EGID_REFIT_INTERVAL", 512));
+  options.checkpoint_path = flags.Str("checkpoint", "EGID_CHECKPOINT", "");
+  options.queue_capacity = static_cast<size_t>(
+      flags.Int("queue-capacity", "EGID_QUEUE_CAPACITY", 8192));
+  options.max_streams_per_tenant = static_cast<size_t>(
+      flags.Int("max-streams-per-tenant", "EGID_MAX_STREAMS_PER_TENANT", 0));
+  options.points_per_second =
+      flags.Double("points-per-second", "EGID_POINTS_PER_SECOND", 0.0);
+  options.quota_burst = flags.Double("quota-burst", "EGID_QUOTA_BURST", 0.0);
+  options.num_workers = static_cast<size_t>(
+      flags.Int("workers", "EGID_WORKERS", 2));
+
+  auto service = egi::service::HubService::Create(std::move(options));
+  if (!service.ok()) {
+    std::fprintf(stderr, "egid: %s\n",
+                 service.status().ToString().c_str());
+    return 1;
+  }
+
+  egi::service::ServerOptions server_options;
+  server_options.bind_address = flags.Str("bind", "EGID_BIND", "127.0.0.1");
+  server_options.http_port =
+      static_cast<int>(flags.Int("http-port", "EGID_HTTP_PORT", 0));
+  server_options.ingest_port =
+      static_cast<int>(flags.Int("ingest-port", "EGID_INGEST_PORT", 0));
+  server_options.checkpoint_interval_seconds =
+      flags.Double("checkpoint-interval", "EGID_CHECKPOINT_INTERVAL", 0.0);
+
+  egi::service::Server server(service->get(), server_options);
+  const egi::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "egid: %s\n", started.ToString().c_str());
+    return 1;
+  }
+
+  g_server = &server;
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGPIPE, SIG_IGN);  // peer resets surface as write errors
+
+  std::printf("egid ready http=%d ingest=%d streams=%zu\n",
+              server.http_port(), server.ingest_port(),
+              (*service)->num_streams());
+  std::fflush(stdout);
+
+  const egi::Status drained = server.Wait();
+  g_server = nullptr;
+  if (!drained.ok()) {
+    std::fprintf(stderr, "egid: final checkpoint failed: %s\n",
+                 drained.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "egid: drained cleanly\n");
+  return 0;
+}

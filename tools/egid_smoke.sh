@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the egid daemon: boot → load → checkpoint →
+# kill -9 → restart (restore-on-boot) → verify state survived → clean
+# SIGTERM drain. CI runs this under `timeout` on every push; it is also
+# handy locally:
+#
+#   tools/egid_smoke.sh build
+#
+# The only argument is the build directory holding the egid and loadgen
+# binaries. Exits non-zero (with a FAIL line) on the first broken step.
+set -u -o pipefail
+
+BUILD_DIR=${1:-build}
+EGID="$BUILD_DIR/egid"
+LOADGEN="$BUILD_DIR/loadgen"
+WORK=$(mktemp -d)
+CKPT="$WORK/checkpoint.egis"
+LOG="$WORK/egid.log"
+EGID_PID=""
+
+fail() {
+  echo "FAIL: $*" >&2
+  [[ -s $LOG ]] && { echo "--- egid log ---" >&2; cat "$LOG" >&2; }
+  [[ -n $EGID_PID ]] && kill -9 "$EGID_PID" 2>/dev/null
+  rm -rf "$WORK"
+  exit 1
+}
+
+[[ -x $EGID ]] || fail "egid binary not found at $EGID"
+[[ -x $LOADGEN ]] || fail "loadgen binary not found at $LOADGEN"
+
+# Launch and parse the ready banner for the ephemeral ports.
+start_egid() {
+  "$EGID" --window=16 --buffer=256 --refit-interval=64 --workers=2 \
+          --checkpoint="$CKPT" >"$LOG" 2>&1 &
+  EGID_PID=$!
+  for _ in $(seq 100); do
+    grep -q '^egid ready' "$LOG" 2>/dev/null && break
+    kill -0 "$EGID_PID" 2>/dev/null || fail "egid exited during startup"
+    sleep 0.1
+  done
+  grep -q '^egid ready' "$LOG" || fail "egid never printed its ready banner"
+  HTTP_PORT=$(sed -n 's/^egid ready http=\([0-9]*\).*/\1/p' "$LOG" | tail -1)
+  INGEST_PORT=$(sed -n 's/.*ingest=\([0-9]*\).*/\1/p' "$LOG" | tail -1)
+  [[ -n $HTTP_PORT && -n $INGEST_PORT ]] || fail "could not parse ports"
+}
+
+http() {  # http METHOD PATH -> body on stdout
+  curl -sS -X "$1" "http://127.0.0.1:$HTTP_PORT$2" || fail "curl $1 $2"
+}
+
+start_egid
+echo "egid up: http=$HTTP_PORT ingest=$INGEST_PORT pid=$EGID_PID"
+
+# A small load: 50 streams, enough points to score but quick to drain.
+"$LOADGEN" --http-port="$HTTP_PORT" --ingest-port="$INGEST_PORT" \
+           --streams=50 --conns=4 --batch=20 --rounds=3 --json \
+  || fail "loadgen run"
+
+http POST /v1/flush | grep -q '"flushed":true' || fail "flush"
+DESCRIBE=$(http GET /v1/streams/0)
+echo "$DESCRIBE" | grep -q '"accepted":60' || fail "expected 60 accepted: $DESCRIBE"
+echo "$DESCRIBE" | grep -q '"scored":60' || fail "expected 60 scored: $DESCRIBE"
+
+# /metrics must be valid JSON (the telemetry dump feeds dashboards).
+http GET /metrics | python3 -m json.tool >/dev/null || fail "/metrics is not JSON"
+
+# Checkpoint, then die without any shutdown path at all.
+http POST /v1/checkpoint | grep -q '"bytes"' || fail "checkpoint request"
+[[ -s $CKPT ]] || fail "checkpoint file missing"
+kill -9 "$EGID_PID"
+wait "$EGID_PID" 2>/dev/null
+echo "killed egid with SIGKILL, restarting from $CKPT"
+
+# Second life: restore-on-boot must bring all 50 streams back, scored.
+start_egid
+grep -q 'streams=50' "$LOG" || fail "restore-on-boot lost streams: $(tail -1 "$LOG")"
+DESCRIBE=$(http GET /v1/streams/0)
+echo "$DESCRIBE" | grep -q '"scored":60' || fail "restored stream lost points: $DESCRIBE"
+http GET /healthz | grep -q '"status":"ok"' || fail "healthz after restore"
+
+# Clean shutdown: SIGTERM drains and exits 0.
+kill -TERM "$EGID_PID"
+for _ in $(seq 300); do
+  kill -0 "$EGID_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if wait "$EGID_PID"; then
+  echo "egid drained cleanly"
+else
+  fail "egid exited non-zero on SIGTERM"
+fi
+
+rm -rf "$WORK"
+echo "PASS: egid smoke (load, checkpoint, SIGKILL, restore, drain)"
