@@ -1,4 +1,5 @@
-// loadgen — sustained-load client for the egid daemon (tools/egid_main.cc).
+// loadgen — sustained-load client for the egid daemon (tools/egid_main.cc)
+// and the egid-router front door (tools/egid_router_main.cc).
 //
 // Creates `--streams` detection streams over the HTTP control plane, then
 // drives the binary ingest plane from `--conns` connection threads, each
@@ -7,14 +8,22 @@
 // the (in-order) acks, recording one send-to-ack RTT per frame. Reports
 // sustained points/sec and frame RTT percentiles — the numbers the
 // "millions of streams" direction is steered by — as one JSON-lines record
-// (BENCH_service.json in CI) in --json mode:
+// (BENCH_service.json / BENCH_router.json in CI) in --json mode:
 //
 //   ./build/egid --window=16 --buffer=256 &   # prints its ports
 //   ./build/loadgen --http-port=P --ingest-port=Q \
 //       --streams=10000 --conns=8 --batch=20 --rounds=10 --json
 //
-// Rejects (rate-limit / queue-full backpressure) are counted, not retried:
-// the report shows how much of the offered load the daemon admitted.
+// `--targets=host:HTTP:INGEST[,...]` generalizes the port pair: streams and
+// connections are split across the listed targets (one router, or several
+// daemons side by side for A/B baselines). Every ingest connection opens
+// with the protocol-version hello handshake, so a version-skewed server
+// fails loudly before any data frame.
+//
+// Rejects (rate-limit / queue-full backpressure) are counted, not retried —
+// the report shows how much of the offered load the server admitted — and
+// any reject or transport error makes the exit status nonzero, so smoke
+// scripts can assert "this phase must lose nothing" with `|| exit`.
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -35,6 +44,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "router/shard_map.h"
 #include "service/frame.h"
 #include "util/rng.h"
 
@@ -53,14 +63,27 @@ int64_t FlagInt(int argc, char** argv, const char* name, int64_t fallback) {
   return fallback;
 }
 
-int Connect(int port) {
+const char* FlagStr(int argc, char** argv, const char* name,
+                    const char* fallback) {
+  const size_t len = std::strlen(name);
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--", 2) == 0 &&
+        std::strncmp(arg + 2, name, len) == 0 && arg[2 + len] == '=') {
+      return arg + 2 + len + 1;
+    }
+  }
+  return fallback;
+}
+
+int Connect(const std::string& host, int port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return -1;
   struct sockaddr_in addr;
   std::memset(&addr, 0, sizeof(addr));
   addr.sin_family = AF_INET;
   addr.sin_port = htons(static_cast<uint16_t>(port));
-  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ::inet_pton(AF_INET, host.c_str(), &addr.sin_addr);
   if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
                 sizeof(addr)) < 0) {
     ::close(fd);
@@ -127,13 +150,40 @@ struct ShardResult {
   bool transport_error = false;
 };
 
+/// Version handshake: one hello frame, one helloack back. Anything else
+/// (a typed reject, a version skew, a short read) is a transport error —
+/// the connection is useless for data.
+bool Handshake(int fd) {
+  std::vector<uint8_t> out;
+  service::EncodeHelloFrame(service::kProtocolVersion, &out);
+  if (!WriteAll(fd, out.data(), out.size())) return false;
+  std::vector<uint8_t> in;
+  uint8_t chunk[256];
+  while (true) {
+    service::IngestResponse resp;
+    size_t consumed = 0;
+    const service::FrameParseResult parsed = service::DecodeResponseFrame(
+        std::span<const uint8_t>(in), &resp, &consumed);
+    if (parsed == service::FrameParseResult::kMalformed) return false;
+    if (parsed == service::FrameParseResult::kComplete) {
+      return resp.type == service::FrameType::kHelloAck &&
+             resp.protocol_version == service::kProtocolVersion;
+    }
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) return false;
+    in.insert(in.end(), chunk, chunk + n);
+  }
+}
+
 /// One connection thread: `rounds` passes over [first, first+count) stream
 /// ids, each pass pipelining one frame per stream then draining the acks.
-void RunShard(int ingest_port, size_t first, size_t count, int rounds,
-              int batch, uint64_t seed, ShardResult* result) {
-  const int fd = Connect(ingest_port);
-  if (fd < 0) {
+void RunShard(const std::string& host, int ingest_port, size_t first,
+              size_t count, int rounds, int batch, uint64_t seed,
+              ShardResult* result) {
+  const int fd = Connect(host, ingest_port);
+  if (fd < 0 || !Handshake(fd)) {
     result->transport_error = true;
+    if (fd >= 0) ::close(fd);
     return;
   }
   Rng rng(seed);
@@ -213,71 +263,118 @@ int Run(int argc, char** argv) {
       static_cast<int>(FlagInt(argc, argv, "http-port", 0));
   const int ingest_port =
       static_cast<int>(FlagInt(argc, argv, "ingest-port", 0));
+  const char* targets_flag = FlagStr(argc, argv, "targets", nullptr);
+  const std::string record_name =
+      FlagStr(argc, argv, "name", "service_loadgen");
   const size_t streams = static_cast<size_t>(
       FlagInt(argc, argv, "streams", quick ? 1000 : 10000));
-  const size_t conns =
-      static_cast<size_t>(FlagInt(argc, argv, "conns", 8));
+  size_t conns = static_cast<size_t>(FlagInt(argc, argv, "conns", 8));
   const int batch = static_cast<int>(FlagInt(argc, argv, "batch", 20));
   const int rounds =
       static_cast<int>(FlagInt(argc, argv, "rounds", quick ? 5 : 10));
-  if (http_port <= 0 || ingest_port <= 0 || streams == 0 || conns == 0 ||
+
+  // One router (or daemon) via --targets, or the classic localhost port
+  // pair; either way the load below only sees a target list.
+  std::vector<router::ShardEndpoint> targets;
+  if (targets_flag != nullptr) {
+    auto parsed = router::ParseEndpointList(targets_flag);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "loadgen: %s\n",
+                   parsed.status().ToString().c_str());
+      return 2;
+    }
+    targets = std::move(*parsed);
+  } else if (http_port > 0 && ingest_port > 0) {
+    targets.push_back({"127.0.0.1", http_port, ingest_port});
+  }
+  if (targets.empty() || streams < targets.size() || conns == 0 ||
       batch <= 0 || rounds <= 0) {
-    std::fprintf(stderr,
-                 "usage: loadgen --http-port=P --ingest-port=Q "
-                 "[--streams=N] [--conns=C] [--batch=B] [--rounds=R] "
-                 "[--json]\n(points the egid banner printed at startup)\n");
+    std::fprintf(
+        stderr,
+        "usage: loadgen (--http-port=P --ingest-port=Q | "
+        "--targets=HOST:P:Q[,...])\n               [--streams=N] "
+        "[--conns=C] [--batch=B] [--rounds=R]\n               "
+        "[--name=RECORD] [--json]\n(ports are what the egid/egid_router "
+        "banner printed at startup)\n");
     return 2;
   }
+  const size_t num_targets = targets.size();
+  conns = std::max(conns, num_targets);  // every target gets >= 1 conn
 
-  // Control plane: create every stream up front on one keep-alive
-  // connection (the daemon's ids are dense, so remembering the first id is
-  // enough).
-  const int http_fd = Connect(http_port);
-  if (http_fd < 0) {
-    std::fprintf(stderr, "loadgen: cannot connect to http port %d\n",
-                 http_port);
-    return 1;
-  }
-  size_t first_stream = 0;
+  // Control plane: create each target's share of the streams up front on
+  // one keep-alive connection per target (server ids are dense, so the
+  // first id plus the count describes the whole share).
+  struct TargetShare {
+    size_t begin = 0;        // global stream index of the share
+    size_t count = 0;
+    size_t first_stream = 0; // the server's id for the share's first stream
+  };
+  std::vector<TargetShare> shares(num_targets);
   const auto started_setup = std::chrono::steady_clock::now();
-  for (size_t s = 0; s < streams; ++s) {
-    const std::string body = "{\"tenant\":\"loadgen\",\"name\":\"s" +
-                             std::to_string(s) + "\"}";
-    const std::string request =
-        "POST /v1/streams HTTP/1.1\r\nHost: localhost\r\n"
-        "Content-Type: application/json\r\nContent-Length: " +
-        std::to_string(body.size()) + "\r\n\r\n" + body;
-    std::string response;
-    const int status = HttpCall(http_fd, request, &response);
-    if (status != 201) {
-      std::fprintf(stderr,
-                   "loadgen: stream create %zu failed (HTTP %d): %s\n", s,
-                   status, response.c_str());
-      ::close(http_fd);
+  for (size_t t = 0; t < num_targets; ++t) {
+    TargetShare& share = shares[t];
+    share.begin = streams * t / num_targets;
+    share.count = streams * (t + 1) / num_targets - share.begin;
+    const int http_fd = Connect(targets[t].host, targets[t].http_port);
+    if (http_fd < 0) {
+      std::fprintf(stderr, "loadgen: cannot connect to %s:%d\n",
+                   targets[t].host.c_str(), targets[t].http_port);
       return 1;
     }
-    if (s == 0) {
-      const size_t pos = response.find("\"stream\":");
-      first_stream = pos == std::string::npos
-                         ? 0
-                         : static_cast<size_t>(std::strtoull(
-                               response.c_str() + pos + 9, nullptr, 10));
+    for (size_t s = 0; s < share.count; ++s) {
+      const std::string body = "{\"tenant\":\"loadgen\",\"name\":\"s" +
+                               std::to_string(share.begin + s) + "\"}";
+      const std::string request =
+          "POST /v1/streams HTTP/1.1\r\nHost: localhost\r\n"
+          "Content-Type: application/json\r\nContent-Length: " +
+          std::to_string(body.size()) + "\r\n\r\n" + body;
+      std::string response;
+      const int status = HttpCall(http_fd, request, &response);
+      if (status != 201) {
+        std::fprintf(stderr,
+                     "loadgen: stream create %zu on %s:%d failed "
+                     "(HTTP %d): %s\n",
+                     share.begin + s, targets[t].host.c_str(),
+                     targets[t].http_port, status, response.c_str());
+        ::close(http_fd);
+        return 1;
+      }
+      if (s == 0) {
+        const size_t pos = response.find("\"stream\":");
+        share.first_stream =
+            pos == std::string::npos
+                ? 0
+                : static_cast<size_t>(std::strtoull(
+                      response.c_str() + pos + 9, nullptr, 10));
+      }
     }
+    ::close(http_fd);
   }
   const double setup_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     started_setup)
           .count();
 
-  // Data plane: shard the streams over the connection threads.
+  // Data plane: give each target its proportional slice of the connection
+  // threads, and slice the target's streams across those connections.
   std::vector<ShardResult> results(conns);
   std::vector<std::thread> threads;
   const auto started = std::chrono::steady_clock::now();
-  for (size_t c = 0; c < conns; ++c) {
-    const size_t begin = streams * c / conns;
-    const size_t end = streams * (c + 1) / conns;
-    threads.emplace_back(RunShard, ingest_port, first_stream + begin,
-                         end - begin, rounds, batch, 7000 + c, &results[c]);
+  size_t conn_index = 0;
+  for (size_t t = 0; t < num_targets; ++t) {
+    const size_t conn_begin = conns * t / num_targets;
+    const size_t conn_end = conns * (t + 1) / num_targets;
+    const size_t target_conns = conn_end - conn_begin;
+    for (size_t c = 0; c < target_conns; ++c) {
+      const size_t begin = shares[t].count * c / target_conns;
+      const size_t end = shares[t].count * (c + 1) / target_conns;
+      threads.emplace_back(RunShard, targets[t].host,
+                           targets[t].ingest_port,
+                           shares[t].first_stream + begin, end - begin,
+                           rounds, batch, 7000 + conn_index,
+                           &results[conn_index]);
+      ++conn_index;
+    }
   }
   for (std::thread& t : threads) t.join();
   const double seconds =
@@ -303,8 +400,9 @@ int Run(int argc, char** argv) {
   const double p99_ms = Percentile(&rtts, 0.99) * 1e3;
 
   if (json) {
-    JsonRecord("service_loadgen")
+    JsonRecord(record_name)
         .Add("streams", static_cast<uint64_t>(streams))
+        .Add("targets", static_cast<uint64_t>(num_targets))
         .Add("conns", static_cast<uint64_t>(conns))
         .Add("batch", batch)
         .Add("rounds", rounds)
@@ -328,8 +426,9 @@ int Run(int argc, char** argv) {
         points_per_sec, static_cast<unsigned long long>(frames),
         static_cast<unsigned long long>(rejects), p50_ms, p99_ms);
   }
-  ::close(http_fd);
-  return transport_error ? 1 : 0;
+  // Nonzero exit on ANY lost load: smoke phases that must be lossless
+  // (e.g. a live reshard under load) assert on the exit status directly.
+  return (transport_error || rejects > 0) ? 1 : 0;
 }
 
 }  // namespace

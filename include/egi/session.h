@@ -201,6 +201,18 @@ class StreamHub {
   /// Callbacks are cleared (they are not part of a checkpoint).
   Status Restore(std::span<const uint8_t> blob);
 
+  /// Checkpoints one stream into a standalone blob — the same bytes as a
+  /// single-stream StreamSession::Checkpoint(), and the unit of shard
+  /// migration in the egid-router: export here, RestoreStream() on another
+  /// process's hub, and the stream continues bitwise-identically. Same
+  /// synchronization rule as Stats().
+  Result<std::vector<uint8_t>> CheckpointStream(size_t stream) const;
+
+  /// Replaces one stream's state with a CheckpointStream() blob; the
+  /// stream's callback is cleared, other streams are untouched. On failure
+  /// the stream is left as it was.
+  Status RestoreStream(size_t stream, std::span<const uint8_t> blob);
+
  private:
   friend class Session;
   struct Impl;

@@ -186,6 +186,15 @@ Status StreamHub::Restore(std::span<const uint8_t> blob) {
   return impl_->engine.LoadAll(blob);
 }
 
+Result<std::vector<uint8_t>> StreamHub::CheckpointStream(size_t stream) const {
+  return impl_->engine.SaveStream(stream);
+}
+
+Status StreamHub::RestoreStream(size_t stream,
+                                std::span<const uint8_t> blob) {
+  return impl_->engine.LoadStream(stream, blob);
+}
+
 // ------------------------------------------------------------------- Session
 
 struct Session::Impl {

@@ -1,0 +1,64 @@
+#pragma once
+
+// The router's transport seam (src/router): a ShardChannel is one logical
+// connection pair to a backend shard — control-plane HTTP plus data-plane
+// binary frames. RouterCore only ever talks through this interface, so the
+// whole router is unit-testable with loopback channels wrapping in-process
+// HubService instances (tests/router_test.cc), while egid_router_main wires
+// the TCP implementation (shard_client.cc).
+//
+// Channels are NOT thread-safe: RouterCore's per-backend pool hands a
+// channel to exactly one request at a time (which is also what bounds the
+// router's in-flight frames per shard). Any transport error is terminal for
+// the channel — the pool drops it and the next request dials a fresh one.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "egi/result.h"
+#include "egi/status.h"
+#include "router/shard_map.h"
+#include "service/frame.h"
+
+namespace egi::router {
+
+/// A backend's answer to one control-plane call.
+struct HttpReply {
+  int status = 0;
+  std::string body;
+};
+
+class ShardChannel {
+ public:
+  virtual ~ShardChannel() = default;
+
+  /// One control-plane round trip. A Status error means transport failure
+  /// (connect/write/read/parse), never an HTTP-level error — those come
+  /// back as the reply's status code.
+  virtual Result<HttpReply> Http(std::string_view method,
+                                 std::string_view target,
+                                 std::string_view body,
+                                 std::string_view content_type) = 0;
+
+  /// One data-plane round trip: a point frame for `stream` (the backend's
+  /// local id), answered by the shard's ack/reject.
+  virtual Result<service::IngestResponse> Ingest(
+      uint64_t stream, std::span<const double> values) = 0;
+};
+
+/// Dials channels for an endpoint. RouterCore owns one factory; tests
+/// substitute loopback factories.
+using ChannelFactory =
+    std::function<std::unique_ptr<ShardChannel>(const ShardEndpoint&)>;
+
+/// The production factory: TCP channels with lazy connect, per-operation
+/// `timeout_seconds` deadlines, and the protocol-version hello handshake on
+/// every new ingest connection (a mismatched shard fails the first Ingest
+/// with the shard's typed kVersionMismatch reject surfaced as an error).
+ChannelFactory TcpChannelFactory(double timeout_seconds);
+
+}  // namespace egi::router

@@ -1,0 +1,85 @@
+#include "router/shard_map.h"
+
+#include <cstdlib>
+
+namespace egi::router {
+
+int32_t JumpConsistentHash(uint64_t key, int32_t num_buckets) {
+  // The published algorithm verbatim: an LCG walk whose last in-range jump
+  // is the bucket. Doubles are exact here (the mantissa covers 2^31).
+  int64_t b = -1;
+  int64_t j = 0;
+  while (j < num_buckets) {
+    b = j;
+    key = key * 2862933555777941757ULL + 1;
+    j = static_cast<int64_t>(
+        static_cast<double>(b + 1) *
+        (static_cast<double>(1LL << 31) /
+         static_cast<double>((key >> 33) + 1)));
+  }
+  return static_cast<int32_t>(b);
+}
+
+namespace {
+
+Result<int> ParsePort(std::string_view text) {
+  if (text.empty() || text.size() > 5) {
+    return Status::InvalidArgument("bad port '" + std::string(text) + "'");
+  }
+  int value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("bad port '" + std::string(text) + "'");
+    }
+    value = value * 10 + (c - '0');
+  }
+  if (value < 1 || value > 65535) {
+    return Status::InvalidArgument("port " + std::to_string(value) +
+                                   " out of range");
+  }
+  return value;
+}
+
+Result<ShardEndpoint> ParseEndpoint(std::string_view spec) {
+  const size_t c1 = spec.find(':');
+  const size_t c2 = c1 == std::string_view::npos ? c1 : spec.find(':', c1 + 1);
+  if (c1 == std::string_view::npos || c2 == std::string_view::npos ||
+      c1 == 0) {
+    return Status::InvalidArgument(
+        "endpoint '" + std::string(spec) +
+        "' must be host:http_port:ingest_port");
+  }
+  ShardEndpoint out;
+  out.host = std::string(spec.substr(0, c1));
+  EGI_ASSIGN_OR_RETURN(out.http_port,
+                       ParsePort(spec.substr(c1 + 1, c2 - c1 - 1)));
+  EGI_ASSIGN_OR_RETURN(out.ingest_port, ParsePort(spec.substr(c2 + 1)));
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<ShardEndpoint>> ParseEndpointList(std::string_view spec) {
+  std::vector<ShardEndpoint> out;
+  std::string_view rest = spec;
+  while (!rest.empty()) {
+    const size_t comma = rest.find(',');
+    const std::string_view one =
+        comma == std::string_view::npos ? rest : rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    EGI_ASSIGN_OR_RETURN(ShardEndpoint endpoint, ParseEndpoint(one));
+    out.push_back(std::move(endpoint));
+  }
+  if (out.empty()) {
+    return Status::InvalidArgument("endpoint list is empty");
+  }
+  return out;
+}
+
+std::string EndpointToString(const ShardEndpoint& endpoint) {
+  return endpoint.host + ':' + std::to_string(endpoint.http_port) + ':' +
+         std::to_string(endpoint.ingest_port);
+}
+
+}  // namespace egi::router

@@ -1,0 +1,48 @@
+#pragma once
+
+// Stream → shard assignment for the egid-router (src/router): jump
+// consistent hashing (Lamping & Veach, "A Fast, Minimal Memory, Consistent
+// Hash Algorithm") over a versioned list of backend endpoints. Jump hash
+// gives the property resharding needs: growing N shards to N+1 moves only
+// ~1/(N+1) of the streams, and every mapping is computable from (key, N)
+// alone — no ring state to persist or gossip.
+//
+// The router consults the hash only at stream creation and at map installs
+// (POST /v1/shards); between those, the authoritative assignment lives in
+// the router's route table, so a stream whose migration failed keeps
+// serving from its old shard even when the hash says otherwise.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "egi/result.h"
+#include "egi/status.h"
+
+namespace egi::router {
+
+/// One backend egid process: HTTP control plane + binary ingest plane.
+struct ShardEndpoint {
+  std::string host;
+  int http_port = 0;
+  int ingest_port = 0;
+
+  bool operator==(const ShardEndpoint& other) const = default;
+};
+
+/// Jump consistent hash: maps `key` to a bucket in [0, num_buckets).
+/// Deterministic and minimal: raising num_buckets by one reassigns exactly
+/// the keys that land in the new bucket. `num_buckets` must be >= 1.
+int32_t JumpConsistentHash(uint64_t key, int32_t num_buckets);
+
+/// "host:http_port:ingest_port[,host:http_port:ingest_port...]" → endpoint
+/// list. Ports must be in [1, 65535]; the host is an IPv4 literal or name
+/// (resolution happens at connect time).
+Result<std::vector<ShardEndpoint>> ParseEndpointList(std::string_view spec);
+
+/// "host:http_port:ingest_port" — the inverse of ParseEndpointList for one
+/// endpoint (logs, /healthz sections, smoke-script assertions).
+std::string EndpointToString(const ShardEndpoint& endpoint);
+
+}  // namespace egi::router

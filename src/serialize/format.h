@@ -58,4 +58,13 @@ Status UnwrapPayload(std::span<const uint8_t> blob, BlobKind expected_kind,
                      std::span<const uint8_t>* payload,
                      uint32_t* version = nullptr);
 
+/// Extracts section `index` from a kStreamEngine blob without decoding any
+/// detector: the result is that stream's complete kStreamDetector envelope,
+/// restorable on its own (the unit the egid-router migrates between
+/// shards). `count` (optional) receives the number of sections in the blob.
+/// Out-of-range `index` and every malformed input are Status errors.
+Status ExtractEngineSection(std::span<const uint8_t> engine_blob, size_t index,
+                            std::vector<uint8_t>* section,
+                            size_t* count = nullptr);
+
 }  // namespace egi::serialize

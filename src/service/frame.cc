@@ -39,6 +39,8 @@ double GetDoubleLE(const uint8_t* p) {
 constexpr size_t kIngestHeaderBytes = 1 + 8 + 4;       // type, stream, count
 constexpr size_t kAckPayloadBytes = 1 + 8 + 8 + 8 + 8 + 1;
 constexpr size_t kRejectPayloadBytes = 1 + 8 + 1;
+constexpr size_t kHelloPayloadBytes = 1 + 8 + 1;       // type, reserved, ver
+constexpr size_t kHelloAckPayloadBytes = 1 + 1;        // type, version
 
 // Reads the length prefix and validates it against the frame cap. Returns
 // false (→ kMalformed) on violation; sets `*payload` to the payload size
@@ -64,6 +66,8 @@ std::string_view RejectReasonName(RejectReason reason) {
     case RejectReason::kQueueFull: return "queue_full";
     case RejectReason::kMalformed: return "malformed";
     case RejectReason::kDraining: return "draining";
+    case RejectReason::kUnavailable: return "unavailable";
+    case RejectReason::kVersionMismatch: return "version_mismatch";
   }
   return "unknown";
 }
@@ -79,8 +83,21 @@ void EncodeIngestFrame(uint64_t stream, std::span<const double> values,
   for (const double v : values) PutDoubleLE(v, out);
 }
 
+void EncodeHelloFrame(uint8_t version, std::vector<uint8_t>* out) {
+  PutLE<uint32_t>(kHelloPayloadBytes, out);
+  out->push_back(static_cast<uint8_t>(FrameType::kHello));
+  PutLE<uint64_t>(0, out);  // reserved
+  out->push_back(version);
+}
+
 void EncodeResponseFrame(const IngestResponse& response,
                          std::vector<uint8_t>* out) {
+  if (response.type == FrameType::kHelloAck) {
+    PutLE<uint32_t>(kHelloAckPayloadBytes, out);
+    out->push_back(static_cast<uint8_t>(FrameType::kHelloAck));
+    out->push_back(response.protocol_version);
+    return;
+  }
   if (response.type == FrameType::kAck) {
     PutLE<uint32_t>(kAckPayloadBytes, out);
     out->push_back(static_cast<uint8_t>(FrameType::kAck));
@@ -102,12 +119,25 @@ FrameParseResult DecodeIngestFrame(std::span<const uint8_t> buffer,
   size_t payload = 0;
   const FrameParseResult extent = FrameExtent(buffer, &payload);
   if (extent != FrameParseResult::kComplete) return extent;
-  if (payload < kIngestHeaderBytes) return FrameParseResult::kMalformed;
+  if (payload < 1) return FrameParseResult::kMalformed;
 
+  // Hello first: its payload (10 bytes) is shorter than an ingest header.
   const uint8_t* p = buffer.data() + 4;
-  if (p[0] != static_cast<uint8_t>(FrameType::kIngest)) {
+  if (p[0] == static_cast<uint8_t>(FrameType::kHello)) {
+    if (payload != kHelloPayloadBytes) return FrameParseResult::kMalformed;
+    out->stream = 0;
+    out->values.clear();
+    out->hello = true;
+    out->protocol_version = p[9];
+    *consumed = 4 + payload;
+    return FrameParseResult::kComplete;
+  }
+  if (p[0] != static_cast<uint8_t>(FrameType::kIngest) ||
+      payload < kIngestHeaderBytes) {
     return FrameParseResult::kMalformed;
   }
+  out->hello = false;
+  out->protocol_version = 0;
   out->stream = GetLE<uint64_t>(p + 1);
   const uint32_t count = GetLE<uint32_t>(p + 9);
   if (payload != kIngestHeaderBytes + 8 * static_cast<size_t>(count)) {
@@ -147,6 +177,10 @@ FrameParseResult DecodeResponseFrame(std::span<const uint8_t> buffer,
     resp.type = FrameType::kReject;
     resp.stream = GetLE<uint64_t>(p + 1);
     resp.reason = static_cast<RejectReason>(p[9]);
+  } else if (p[0] == static_cast<uint8_t>(FrameType::kHelloAck)) {
+    if (payload != kHelloAckPayloadBytes) return FrameParseResult::kMalformed;
+    resp.type = FrameType::kHelloAck;
+    resp.protocol_version = p[1];
   } else {
     return FrameParseResult::kMalformed;
   }

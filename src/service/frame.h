@@ -11,9 +11,11 @@
 //
 //   request:  u32 length | u8 type=kIngest | u64 stream_id |
 //             u32 count  | f64 value[count]
+//   hello:    u32 length | u8 type=kHello  | u64 reserved=0 | u8 version
 //   ack:      u32 length | u8 type=kAck    | u64 stream_id |
 //             u64 accepted_total | u64 scored_total |
 //             f64 last_score | u8 last_scored
+//   helloack: u32 length | u8 type=kHelloAck | u8 version
 //   reject:   u32 length | u8 type=kReject | u64 stream_id | u8 reason
 //
 // `length` counts the bytes *after* the length field. `accepted_total` is
@@ -22,6 +24,13 @@
 // queue depth (scoring is asynchronous — the ack means "durably queued",
 // backpressure means the queue never grows unboundedly). Reject frames are
 // the binary protocol's 429: the client must back off and retry.
+//
+// The hello exchange is the version handshake: a client (loadgen, or the
+// egid-router forwarding to a backend shard) sends one hello as its first
+// frame; a server whose protocol differs answers with a typed
+// kVersionMismatch reject instead of silently misparsing later frames.
+// Servers still accept connections that skip the hello (older clients),
+// because every frame layout above is self-describing.
 
 #include <cstddef>
 #include <cstdint>
@@ -33,9 +42,16 @@ namespace egi::service {
 
 enum class FrameType : uint8_t {
   kIngest = 1,
+  kHello = 2,
   kAck = 0x81,
   kReject = 0x82,
+  kHelloAck = 0x83,
 };
+
+/// Wire protocol revision carried by the hello handshake. Bump on any
+/// layout change to an existing frame; additive new frame types do not
+/// bump it (unknown types are already a deterministic kMalformed).
+inline constexpr uint8_t kProtocolVersion = 1;
 
 enum class RejectReason : uint8_t {
   kUnknownStream = 1,  ///< no such stream id (or deleted)
@@ -43,6 +59,9 @@ enum class RejectReason : uint8_t {
   kQueueFull = 3,      ///< bounded ingest queue cannot take the frame
   kMalformed = 4,      ///< frame failed to decode
   kDraining = 5,       ///< server is shutting down
+  kUnavailable = 6,    ///< the owning backend shard is down or unreachable
+                       ///< (egid-router); retry after the shard recovers
+  kVersionMismatch = 7,  ///< hello carried an unsupported protocol version
 };
 
 /// Human-readable reason label (for logs and the loadgen report).
@@ -59,6 +78,10 @@ inline constexpr size_t kMaxFrameBytes = 1 << 20;
 struct IngestRequest {
   uint64_t stream = 0;
   std::vector<double> values;
+  // kHello frames decode into the same struct (one decode loop per
+  // connection): `hello` is set, `values` stays empty.
+  bool hello = false;
+  uint8_t protocol_version = 0;
 };
 
 /// Decoded (or to-be-encoded) response frame.
@@ -72,11 +95,16 @@ struct IngestResponse {
   bool last_scored = false;
   // kReject:
   RejectReason reason = RejectReason::kMalformed;
+  // kHelloAck:
+  uint8_t protocol_version = 0;
 };
 
 /// Appends one encoded ingest request frame to `out`.
 void EncodeIngestFrame(uint64_t stream, std::span<const double> values,
                        std::vector<uint8_t>* out);
+
+/// Appends one encoded hello frame carrying `version` to `out`.
+void EncodeHelloFrame(uint8_t version, std::vector<uint8_t>* out);
 
 /// Appends one encoded response frame to `out`.
 void EncodeResponseFrame(const IngestResponse& response,

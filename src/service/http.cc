@@ -54,6 +54,14 @@ std::string_view HttpRequest::Header(std::string_view name) const {
   return {};
 }
 
+std::string_view HttpResponse::Header(std::string_view name) const {
+  const std::string lowered = ToLower(name);
+  for (const auto& [key, value] : headers) {
+    if (key == lowered) return value;
+  }
+  return {};
+}
+
 long HttpRequest::QueryInt(std::string_view key, long fallback) const {
   // Query strings here are tiny ("tail=50&foo=1"); scan key=value pairs.
   std::string_view rest = query;
@@ -146,6 +154,89 @@ HttpParseResult ParseHttpRequest(std::string_view buffer, HttpRequest* out,
   return HttpParseResult::kComplete;
 }
 
+HttpParseResult ParseHttpResponse(std::string_view buffer, HttpResponse* out,
+                                  size_t* consumed) {
+  const size_t header_end = buffer.find("\r\n\r\n");
+  if (header_end == std::string_view::npos) {
+    return buffer.size() > kMaxHttpHeaderBytes ? HttpParseResult::kMalformed
+                                               : HttpParseResult::kNeedMore;
+  }
+  if (header_end > kMaxHttpHeaderBytes) return HttpParseResult::kMalformed;
+
+  const std::string_view head = buffer.substr(0, header_end);
+  const size_t line_end = head.find("\r\n");
+  const std::string_view status_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+
+  // "HTTP/1.x SP status SP reason"
+  if (status_line.substr(0, 5) != "HTTP/") return HttpParseResult::kMalformed;
+  const size_t sp1 = status_line.find(' ');
+  if (sp1 == std::string_view::npos) return HttpParseResult::kMalformed;
+  const std::string_view code_on = status_line.substr(sp1 + 1);
+  if (code_on.size() < 3) return HttpParseResult::kMalformed;
+  int status = 0;
+  for (size_t i = 0; i < 3; ++i) {
+    const char c = code_on[i];
+    if (c < '0' || c > '9') return HttpParseResult::kMalformed;
+    status = status * 10 + (c - '0');
+  }
+
+  HttpResponse resp;
+  resp.status = status;
+
+  std::string_view rest =
+      line_end == std::string_view::npos ? std::string_view{}
+                                         : head.substr(line_end + 2);
+  while (!rest.empty()) {
+    const size_t eol = rest.find("\r\n");
+    const std::string_view line =
+        eol == std::string_view::npos ? rest : rest.substr(0, eol);
+    rest = eol == std::string_view::npos ? std::string_view{}
+                                         : rest.substr(eol + 2);
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos) return HttpParseResult::kMalformed;
+    resp.headers.emplace_back(ToLower(Trim(line.substr(0, colon))),
+                              std::string(Trim(line.substr(colon + 1))));
+  }
+
+  size_t content_length = 0;
+  if (const std::string_view cl = resp.Header("content-length");
+      !cl.empty()) {
+    const std::string value(cl);
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0' || parsed > kMaxHttpBodyBytes) {
+      return HttpParseResult::kMalformed;
+    }
+    content_length = static_cast<size_t>(parsed);
+  } else {
+    // Without Content-Length the body would be delimited by connection
+    // close, which the keep-alive client cannot frame — reject.
+    return HttpParseResult::kMalformed;
+  }
+
+  const size_t total = header_end + 4 + content_length;
+  if (buffer.size() < total) return HttpParseResult::kNeedMore;
+  resp.body = std::string(buffer.substr(header_end + 4, content_length));
+  *out = std::move(resp);
+  *consumed = total;
+  return HttpParseResult::kComplete;
+}
+
+std::string RenderHttpRequest(std::string_view method, std::string_view target,
+                              std::string_view body,
+                              std::string_view content_type) {
+  std::string out(method);
+  out += ' ';
+  out += target;
+  out += " HTTP/1.1\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: " + std::to_string(body.size());
+  out += "\r\nConnection: keep-alive\r\n\r\n";
+  out += body;
+  return out;
+}
+
 std::string RenderHttpResponse(int status, std::string_view body,
                                std::string_view content_type) {
   std::string out = "HTTP/1.1 " + std::to_string(status) + ' ';
@@ -161,6 +252,18 @@ std::string RenderHttpResponse(int status, std::string_view body,
 std::string RenderHttpError(int status, std::string_view message) {
   return RenderHttpResponse(status,
                             "{\"error\":" + JsonQuote(message) + "}");
+}
+
+int StatusToHttp(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk: return 200;
+    case StatusCode::kInvalidArgument: return 400;
+    case StatusCode::kOutOfRange: return 400;
+    case StatusCode::kNotFound: return 404;
+    case StatusCode::kFailedPrecondition: return 409;
+    case StatusCode::kInternal: return 500;
+  }
+  return 500;
 }
 
 }  // namespace egi::service

@@ -13,6 +13,8 @@
 #include <utility>
 #include <vector>
 
+#include "egi/status.h"
+
 namespace egi::service {
 
 /// One parsed control-plane request.
@@ -31,6 +33,17 @@ struct HttpRequest {
   long QueryInt(std::string_view key, long fallback) const;
 };
 
+/// One parsed control-plane response (client side: the egid-router's
+/// connection to a backend shard, and loopback tests).
+struct HttpResponse {
+  int status = 0;
+  std::vector<std::pair<std::string, std::string>> headers;  ///< names lowered
+  std::string body;
+
+  /// Case-insensitive header lookup; empty string when absent.
+  std::string_view Header(std::string_view name) const;
+};
+
 /// Incremental request parser outcome.
 enum class HttpParseResult {
   kNeedMore,   ///< the buffer does not yet hold one complete request
@@ -39,16 +52,30 @@ enum class HttpParseResult {
 };
 
 /// Maximum accepted header block + body sizes: the control plane carries
-/// small JSON documents, so anything larger is a protocol error (or abuse),
-/// not a legitimate request.
+/// small JSON documents plus per-stream checkpoint blobs (octet-stream
+/// export/import for shard migration), so the body cap is sized for a
+/// detector snapshot, not for bulk data.
 inline constexpr size_t kMaxHttpHeaderBytes = 16 * 1024;
-inline constexpr size_t kMaxHttpBodyBytes = 1 * 1024 * 1024;
+inline constexpr size_t kMaxHttpBodyBytes = 8 * 1024 * 1024;
 
 /// Tries to parse one complete request from the front of `buffer`. On
 /// kComplete, `*out` is filled and `*consumed` is the number of bytes the
 /// request occupied (pipelined remainders stay in the buffer).
 HttpParseResult ParseHttpRequest(std::string_view buffer, HttpRequest* out,
                                  size_t* consumed);
+
+/// Tries to parse one complete response from the front of `buffer`. Same
+/// contract as ParseHttpRequest; responses must carry Content-Length (the
+/// egid daemon always sends it — chunked encoding is out of scope).
+HttpParseResult ParseHttpResponse(std::string_view buffer, HttpResponse* out,
+                                  size_t* consumed);
+
+/// Renders a complete HTTP/1.1 request with Content-Length (the router's
+/// client side; `body` may be empty for GET/DELETE).
+std::string RenderHttpRequest(std::string_view method, std::string_view target,
+                              std::string_view body,
+                              std::string_view content_type =
+                                  "application/json");
 
 /// Renders a complete HTTP/1.1 response with Content-Length and the given
 /// content type (JSON unless stated otherwise). `status` is the numeric
@@ -59,5 +86,8 @@ std::string RenderHttpResponse(int status, std::string_view body,
 
 /// `{"error":"<escaped message>"}` body with the given status.
 std::string RenderHttpError(int status, std::string_view message);
+
+/// Status code → HTTP status mapping shared by every control-plane handler.
+int StatusToHttp(const Status& status);
 
 }  // namespace egi::service

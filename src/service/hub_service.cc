@@ -40,57 +40,6 @@ constexpr size_t kDrainChunk = 512;
 /// Longest tenant/name string accepted from clients and from checkpoints.
 constexpr size_t kMaxLabelBytes = 256;
 
-/// Extracts the string value of a top-level `"key":"value"` pair from a
-/// JSON object body. Not a general parser — the control plane's documents
-/// are flat objects of string fields — but escape-correct: the value is
-/// scanned with backslash tracking and decoded through JsonUnescape, so
-/// labels containing quotes, backslashes, or \u escapes round-trip.
-bool JsonFindString(std::string_view body, std::string_view key,
-                    std::string* out) {
-  std::string needle;
-  needle.reserve(key.size() + 2);
-  needle += '"';
-  needle += key;
-  needle += '"';
-  size_t pos = body.find(needle);
-  while (pos != std::string_view::npos) {
-    size_t i = pos + needle.size();
-    while (i < body.size() && (body[i] == ' ' || body[i] == '\t' ||
-                               body[i] == '\r' || body[i] == '\n')) {
-      ++i;
-    }
-    if (i < body.size() && body[i] == ':') {
-      ++i;
-      while (i < body.size() && (body[i] == ' ' || body[i] == '\t' ||
-                                 body[i] == '\r' || body[i] == '\n')) {
-        ++i;
-      }
-      if (i >= body.size() || body[i] != '"') return false;
-      const size_t start = ++i;
-      while (i < body.size() && body[i] != '"') {
-        i += body[i] == '\\' ? 2 : 1;
-      }
-      if (i >= body.size()) return false;  // unterminated
-      return JsonUnescape(body.substr(start, i - start), out);
-    }
-    // "key" matched inside some other string; keep looking.
-    pos = body.find(needle, pos + 1);
-  }
-  return false;
-}
-
-int StatusToHttp(const Status& status) {
-  switch (status.code()) {
-    case StatusCode::kOk: return 200;
-    case StatusCode::kInvalidArgument: return 400;
-    case StatusCode::kOutOfRange: return 400;
-    case StatusCode::kNotFound: return 404;
-    case StatusCode::kFailedPrecondition: return 409;
-    case StatusCode::kInternal: return 500;
-  }
-  return 500;
-}
-
 }  // namespace
 
 // ------------------------------------------------------------------- state
@@ -260,6 +209,16 @@ IngestResponse HubService::HandleIngest(const IngestRequest& request) {
     return resp;
   };
 
+  if (request.hello) {
+    // Version handshake, answered before the draining check so a draining
+    // server still tells a connecting router *why* frames will bounce.
+    if (request.protocol_version != kProtocolVersion) {
+      return reject(RejectReason::kVersionMismatch);
+    }
+    resp.type = FrameType::kHelloAck;
+    resp.protocol_version = kProtocolVersion;
+    return resp;
+  }
   if (impl_->draining.load(std::memory_order_relaxed)) {
     return reject(RejectReason::kDraining);
   }
@@ -629,6 +588,69 @@ Status HubService::RestoreFromDisk() {
   return Status::OK();
 }
 
+Result<std::vector<uint8_t>> HubService::ExportStreamCheckpoint(
+    size_t stream) const {
+  static auto* exports = Telemetry().GetCounter("service.stream_exports");
+  std::shared_lock<std::shared_mutex> structural(impl_->struct_mu);
+  if (stream >= impl_->streams.size() || impl_->streams[stream]->deleted) {
+    return Status::NotFound("no stream " + std::to_string(stream));
+  }
+  Impl::StreamState& st = *impl_->streams[stream];
+  // Both locks: queue empty alone is not enough — a drain worker pops a
+  // chunk off the queue *before* scoring it, so the blob would miss those
+  // points. accepted == scored under both locks means every acked point is
+  // inside the detector.
+  std::scoped_lock lock(st.queue_mu, st.detect_mu);
+  if (!st.queue.empty() ||
+      st.accepted_total != st.scored_total.load(std::memory_order_relaxed)) {
+    return Status::FailedPrecondition(
+        "stream " + std::to_string(stream) +
+        " still has unscored points; flush first");
+  }
+  EGI_ASSIGN_OR_RETURN(auto blob, impl_->hub.CheckpointStream(stream));
+  exports->Add(1);
+  Telemetry().journal().Emit(
+      "service.stream_export", {{"stream", std::to_string(stream)},
+                                {"bytes", std::to_string(blob.size())}});
+  return blob;
+}
+
+Status HubService::ImportStreamCheckpoint(size_t stream,
+                                          std::span<const uint8_t> blob) {
+  static auto* imports = Telemetry().GetCounter("service.stream_imports");
+  std::shared_lock<std::shared_mutex> structural(impl_->struct_mu);
+  if (stream >= impl_->streams.size() || impl_->streams[stream]->deleted) {
+    return Status::NotFound("no stream " + std::to_string(stream));
+  }
+  Impl::StreamState& st = *impl_->streams[stream];
+  std::scoped_lock lock(st.queue_mu, st.detect_mu);
+  if (!st.queue.empty() ||
+      st.accepted_total != st.scored_total.load(std::memory_order_relaxed)) {
+    return Status::FailedPrecondition(
+        "stream " + std::to_string(stream) +
+        " still has unscored points; flush first");
+  }
+  EGI_RETURN_IF_ERROR(impl_->hub.RestoreStream(stream, blob));
+  // Reconcile the admission counters from the restored detector: the blob
+  // is the source of truth for how many points this stream has consumed.
+  const HubStreamStats stats = impl_->hub.Stats(stream);
+  st.accepted_total = stats.total_appended;
+  st.scored_total.store(stats.total_appended, std::memory_order_relaxed);
+  const std::vector<double> last = impl_->hub.RecentScores(stream, 1);
+  if (!last.empty() && !std::isnan(last.back())) {
+    st.last_score.store(last.back(), std::memory_order_relaxed);
+    st.last_scored.store(true, std::memory_order_relaxed);
+  } else {
+    st.last_score.store(0.0, std::memory_order_relaxed);
+    st.last_scored.store(false, std::memory_order_relaxed);
+  }
+  imports->Add(1);
+  Telemetry().journal().Emit(
+      "service.stream_import", {{"stream", std::to_string(stream)},
+                                {"bytes", std::to_string(blob.size())}});
+  return Status::OK();
+}
+
 // ---------------------------------------------------------------- shutdown
 
 void HubService::BeginDrain() {
@@ -678,11 +700,17 @@ std::string RenderStreamInfo(const StreamInfo& info) {
   return out;
 }
 
-/// "/v1/streams/<id>" → id; false for anything else under that prefix.
-bool ParseStreamPath(std::string_view path, size_t* id) {
+/// "/v1/streams/<id>[/<suffix>]" → id plus whatever follows the digits
+/// ("" or e.g. "/checkpoint"); false for anything else under that prefix.
+bool ParseStreamPath(std::string_view path, size_t* id,
+                     std::string_view* suffix) {
   constexpr std::string_view kPrefix = "/v1/streams/";
   if (path.substr(0, kPrefix.size()) != kPrefix) return false;
-  const std::string_view digits = path.substr(kPrefix.size());
+  std::string_view digits = path.substr(kPrefix.size());
+  const size_t slash = digits.find('/');
+  *suffix = slash == std::string_view::npos ? std::string_view{}
+                                            : digits.substr(slash);
+  if (slash != std::string_view::npos) digits = digits.substr(0, slash);
   if (digits.empty() || digits.size() > 18) return false;
   size_t value = 0;
   for (const char c : digits) {
@@ -743,7 +771,37 @@ std::string HubService::Handle(const HttpRequest& request) {
     }
     return RenderHttpError(405, "use GET or POST");
   }
-  if (size_t id = 0; ParseStreamPath(request.path, &id)) {
+  std::string_view suffix;
+  if (size_t id = 0; ParseStreamPath(request.path, &id, &suffix)) {
+    if (suffix == "/checkpoint") {
+      if (request.method == "GET") {
+        auto blob = ExportStreamCheckpoint(id);
+        if (!blob.ok()) {
+          return RenderHttpError(StatusToHttp(blob.status()),
+                                 blob.status().message());
+        }
+        return RenderHttpResponse(
+            200,
+            std::string_view(reinterpret_cast<const char*>(blob->data()),
+                             blob->size()),
+            "application/octet-stream");
+      }
+      if (request.method == "PUT") {
+        const Status status = ImportStreamCheckpoint(
+            id, std::span<const uint8_t>(
+                    reinterpret_cast<const uint8_t*>(request.body.data()),
+                    request.body.size()));
+        if (!status.ok()) {
+          return RenderHttpError(StatusToHttp(status), status.message());
+        }
+        return RenderHttpResponse(200, "{\"stream\":" + std::to_string(id) +
+                                           ",\"imported\":true}");
+      }
+      return RenderHttpError(405, "use GET or PUT");
+    }
+    if (!suffix.empty()) {
+      return RenderHttpError(404, "no route for " + std::string(request.path));
+    }
     if (request.method == "GET") {
       auto info = Describe(id);
       if (!info.ok()) {

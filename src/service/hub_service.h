@@ -35,6 +35,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -43,6 +44,7 @@
 #include "egi/session.h"
 #include "egi/status.h"
 #include "service/frame.h"
+#include "service/handler.h"
 #include "service/http.h"
 
 namespace egi::service {
@@ -87,13 +89,13 @@ struct StreamInfo {
   HubStreamStats stats;
 };
 
-class HubService {
+class HubService : public ServiceHandler {
  public:
   /// Builds the service: opens the Session, validates options, starts the
   /// drain workers, and — when a checkpoint file exists — restores it.
   static Result<std::unique_ptr<HubService>> Create(HubServiceOptions options);
 
-  ~HubService();
+  ~HubService() override;
   HubService(const HubService&) = delete;
   HubService& operator=(const HubService&) = delete;
 
@@ -101,16 +103,18 @@ class HubService {
 
   /// Admits (or rejects) one decoded ingest frame. Never blocks on detector
   /// work: the points are queued and the response reports queue-accept
-  /// totals plus the most recent score.
-  IngestResponse HandleIngest(const IngestRequest& request);
+  /// totals plus the most recent score. Hello frames answer with a
+  /// helloack (or a kVersionMismatch reject).
+  IngestResponse HandleIngest(const IngestRequest& request) override;
 
   // --------------------------------------------------------- control plane
 
   /// Routes one control-plane request and returns the complete HTTP
   /// response. Endpoints: GET /healthz, GET /metrics, POST /v1/streams,
   /// GET /v1/streams, GET /v1/streams/<id>[?tail=K], DELETE
-  /// /v1/streams/<id>, POST /v1/flush, POST /v1/checkpoint.
-  std::string Handle(const HttpRequest& request);
+  /// /v1/streams/<id>, GET/PUT /v1/streams/<id>/checkpoint, POST
+  /// /v1/flush, POST /v1/checkpoint.
+  std::string Handle(const HttpRequest& request) override;
 
   // ----------------------------------------------------------- operations
 
@@ -143,14 +147,31 @@ class HubService {
   /// fresh start. Called by Create; exposed for tests.
   Status RestoreFromDisk();
 
+  /// Serializes one live stream into a standalone detector blob — the unit
+  /// of shard migration. FailedPrecondition while the stream still has
+  /// queued-but-unscored points (the caller flushes first): the blob must
+  /// capture everything the stream has acked, or the handoff would lose
+  /// points.
+  Result<std::vector<uint8_t>> ExportStreamCheckpoint(size_t stream) const;
+
+  /// Replaces one live stream's detector with an ExportStreamCheckpoint
+  /// blob and reconciles the admission counters (accepted_total,
+  /// scored_total, last score) from the restored detector. Same
+  /// empty-queue precondition as the export side.
+  Status ImportStreamCheckpoint(size_t stream,
+                                std::span<const uint8_t> blob);
+
   /// Enters drain mode: every subsequent frame is rejected with kDraining
   /// and stream creation fails. Idempotent.
-  void BeginDrain();
+  void BeginDrain() override;
 
   /// Graceful shutdown: BeginDrain, Flush, stop the workers, and write a
   /// final checkpoint (when persistence is configured). Idempotent; also
   /// run by the destructor minus the checkpoint-error reporting.
-  Status Shutdown();
+  Status Shutdown() override;
+
+  /// Periodic-checkpoint tick for the socket layer's timer: CheckpointNow.
+  Status PeriodicCheckpoint() override { return CheckpointNow(); }
 
   size_t num_streams() const;
   bool draining() const;

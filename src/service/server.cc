@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "egi/result.h"
 #include "egi/telemetry.h"
 #include "service/frame.h"
 #include "service/http.h"
@@ -53,7 +54,7 @@ bool PollReadable(int fd) {
 }  // namespace
 
 struct Server::Impl {
-  HubService* service;
+  ServiceHandler* service;
   ServerOptions options;
 
   int http_fd = -1;
@@ -75,7 +76,7 @@ struct Server::Impl {
   void JoinConnections();
 };
 
-Server::Server(HubService* service, ServerOptions options)
+Server::Server(ServiceHandler* service, ServerOptions options)
     : impl_(std::make_unique<Impl>()) {
   impl_->service = service;
   impl_->options = std::move(options);
@@ -294,7 +295,7 @@ void Server::Impl::CheckpointTimerLoop() {
     next = std::chrono::steady_clock::now() + interval;
     // Periodic persistence; failures are recorded, not fatal (the next
     // tick retries, and the previous complete checkpoint is still on disk).
-    const Status status = service->CheckpointNow();
+    const Status status = service->PeriodicCheckpoint();
     if (!status.ok()) {
       telemetry::Registry::Global()
           .GetCounter("service.checkpoint_errors")

@@ -2,7 +2,8 @@
 
 // The egid daemon's socket layer (src/service): owns the listening sockets
 // and connection threads, and nothing else — every byte that arrives is
-// handed to the socket-free HubService (hub_service.h), which is where all
+// handed to a socket-free ServiceHandler (handler.h: HubService for the
+// engine daemon, RouterCore for the sharding router), which is where all
 // the logic and all the unit tests live.
 //
 // Two listeners:
@@ -23,7 +24,7 @@
 #include <string>
 
 #include "egi/status.h"
-#include "service/hub_service.h"
+#include "service/handler.h"
 
 namespace egi::service {
 
@@ -41,7 +42,7 @@ struct ServerOptions {
 class Server {
  public:
   /// `service` must outlive the server.
-  Server(HubService* service, ServerOptions options);
+  Server(ServiceHandler* service, ServerOptions options);
   ~Server();
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;

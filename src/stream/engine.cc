@@ -125,6 +125,24 @@ std::vector<uint8_t> StreamEngine::SaveAll(const SectionGuard& guard) const {
   return blob;
 }
 
+Result<std::vector<uint8_t>> StreamEngine::SaveStream(StreamId id) const {
+  if (id >= streams_.size()) {
+    return Status::NotFound("unknown stream " + std::to_string(id));
+  }
+  return streams_[id]->Serialize();
+}
+
+Status StreamEngine::LoadStream(StreamId id, std::span<const uint8_t> blob) {
+  if (id >= streams_.size()) {
+    return Status::NotFound("unknown stream " + std::to_string(id));
+  }
+  auto result = StreamDetector::Deserialize(blob);
+  if (!result.ok()) return result.status();
+  streams_[id] = std::make_unique<StreamDetector>(std::move(*result));
+  callbacks_[id] = Callback();
+  return Status::OK();
+}
+
 Status StreamEngine::LoadAll(std::span<const uint8_t> blob) {
   std::span<const uint8_t> payload;
   EGI_RETURN_IF_ERROR(serialize::UnwrapPayload(

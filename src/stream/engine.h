@@ -97,6 +97,17 @@ class StreamEngine {
   std::vector<uint8_t> SaveAll() const { return SaveAll(SectionGuard()); }
   std::vector<uint8_t> SaveAll(const SectionGuard& guard) const;
 
+  /// Checkpoints one stream into a standalone detector snapshot — the same
+  /// bytes as that stream's section of SaveAll(), restorable on its own.
+  /// This is the unit of shard migration: the egid-router exports a stream
+  /// here and LoadStream()s it into another process's engine.
+  Result<std::vector<uint8_t>> SaveStream(StreamId id) const;
+
+  /// Replaces stream `id`'s detector with a SaveStream() (or extracted
+  /// SaveAll section) snapshot. The stream's callback is cleared; other
+  /// streams are untouched. On failure the stream is left as it was.
+  Status LoadStream(StreamId id, std::span<const uint8_t> blob);
+
   /// Restores a SaveAll() checkpoint, replacing every current stream.
   /// All-or-nothing: sections are decoded concurrently through the pool,
   /// and on any failure the engine is left exactly as it was and the first

@@ -147,4 +147,38 @@ std::string JsonNumber(double value) {
   return buf;
 }
 
+bool JsonFindString(std::string_view body, std::string_view key,
+                    std::string* out) {
+  std::string needle;
+  needle.reserve(key.size() + 2);
+  needle += '"';
+  needle += key;
+  needle += '"';
+  size_t pos = body.find(needle);
+  while (pos != std::string_view::npos) {
+    size_t i = pos + needle.size();
+    while (i < body.size() && (body[i] == ' ' || body[i] == '\t' ||
+                               body[i] == '\r' || body[i] == '\n')) {
+      ++i;
+    }
+    if (i < body.size() && body[i] == ':') {
+      ++i;
+      while (i < body.size() && (body[i] == ' ' || body[i] == '\t' ||
+                                 body[i] == '\r' || body[i] == '\n')) {
+        ++i;
+      }
+      if (i >= body.size() || body[i] != '"') return false;
+      const size_t start = ++i;
+      while (i < body.size() && body[i] != '"') {
+        i += body[i] == '\\' ? 2 : 1;
+      }
+      if (i >= body.size()) return false;  // unterminated
+      return JsonUnescape(body.substr(start, i - start), out);
+    }
+    // "key" matched inside some other string; keep looking.
+    pos = body.find(needle, pos + 1);
+  }
+  return false;
+}
+
 }  // namespace egi

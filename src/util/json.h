@@ -28,4 +28,13 @@ bool JsonUnescape(std::string_view s, std::string* out);
 /// non-finite values render as `null` (JSON has no NaN/Inf literal).
 std::string JsonNumber(double value);
 
+/// Extracts the string value of a top-level `"key":"value"` pair from a
+/// JSON object body. Not a general parser — the service control plane's
+/// documents are flat objects of string fields — but escape-correct: the
+/// value is scanned with backslash tracking and decoded through
+/// JsonUnescape, so labels containing quotes, backslashes, or \u escapes
+/// round-trip. Shared by the egid daemon and the egid-router.
+bool JsonFindString(std::string_view body, std::string_view key,
+                    std::string* out);
+
 }  // namespace egi

@@ -1,0 +1,252 @@
+// Short-read robustness for both wire formats (src/service): every
+// incremental parser — ingest frames, response frames, HTTP requests, HTTP
+// responses — must answer kNeedMore for every strict prefix and then decode
+// the full buffer identically to a one-shot parse, regardless of how the
+// kernel splits the bytes. Exercised byte-at-a-time (every prefix) and with
+// seeded randomized split points, the way real TCP delivers them.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "service/frame.h"
+#include "service/http.h"
+#include "util/rng.h"
+
+namespace egi::service {
+namespace {
+
+std::span<const uint8_t> Bytes(const std::vector<uint8_t>& v, size_t n) {
+  return std::span<const uint8_t>(v.data(), n);
+}
+
+// ------------------------------------------------------------ ingest frames
+
+TEST(PartialReadTest, IngestFrameByteAtATime) {
+  const std::vector<double> values = {1.5, -2.25, 0.0, 1e300, -0.5};
+  std::vector<uint8_t> wire;
+  EncodeIngestFrame(1234567, values, &wire);
+
+  IngestRequest out;
+  size_t consumed = 0;
+  for (size_t n = 0; n < wire.size(); ++n) {
+    ASSERT_EQ(DecodeIngestFrame(Bytes(wire, n), &out, &consumed),
+              FrameParseResult::kNeedMore)
+        << "prefix of " << n << " bytes";
+  }
+  ASSERT_EQ(DecodeIngestFrame(wire, &out, &consumed),
+            FrameParseResult::kComplete);
+  EXPECT_EQ(consumed, wire.size());
+  EXPECT_EQ(out.stream, 1234567u);
+  EXPECT_EQ(out.values, values);
+  EXPECT_FALSE(out.hello);
+}
+
+TEST(PartialReadTest, HelloFrameByteAtATime) {
+  std::vector<uint8_t> wire;
+  EncodeHelloFrame(kProtocolVersion, &wire);
+  IngestRequest out;
+  size_t consumed = 0;
+  for (size_t n = 0; n < wire.size(); ++n) {
+    ASSERT_EQ(DecodeIngestFrame(Bytes(wire, n), &out, &consumed),
+              FrameParseResult::kNeedMore);
+  }
+  ASSERT_EQ(DecodeIngestFrame(wire, &out, &consumed),
+            FrameParseResult::kComplete);
+  EXPECT_TRUE(out.hello);
+  EXPECT_EQ(out.protocol_version, kProtocolVersion);
+  EXPECT_TRUE(out.values.empty());
+}
+
+TEST(PartialReadTest, ResponseFramesByteAtATime) {
+  std::vector<IngestResponse> responses(3);
+  responses[0].type = FrameType::kAck;
+  responses[0].stream = 9;
+  responses[0].accepted_total = 100;
+  responses[0].scored_total = 90;
+  responses[0].last_score = 0.625;
+  responses[0].last_scored = true;
+  responses[1].type = FrameType::kReject;
+  responses[1].stream = 9;
+  responses[1].reason = RejectReason::kUnavailable;
+  responses[2].type = FrameType::kHelloAck;
+  responses[2].protocol_version = kProtocolVersion;
+
+  for (const IngestResponse& expected : responses) {
+    std::vector<uint8_t> wire;
+    EncodeResponseFrame(expected, &wire);
+    IngestResponse out;
+    size_t consumed = 0;
+    for (size_t n = 0; n < wire.size(); ++n) {
+      ASSERT_EQ(DecodeResponseFrame(Bytes(wire, n), &out, &consumed),
+                FrameParseResult::kNeedMore)
+          << "type " << static_cast<int>(expected.type) << " prefix " << n;
+    }
+    ASSERT_EQ(DecodeResponseFrame(wire, &out, &consumed),
+              FrameParseResult::kComplete);
+    EXPECT_EQ(consumed, wire.size());
+    EXPECT_EQ(out.type, expected.type);
+    if (expected.type == FrameType::kAck) {
+      EXPECT_EQ(out.accepted_total, expected.accepted_total);
+      EXPECT_EQ(out.last_score, expected.last_score);
+    }
+    if (expected.type == FrameType::kReject) {
+      EXPECT_EQ(out.reason, expected.reason);
+    }
+    if (expected.type == FrameType::kHelloAck) {
+      EXPECT_EQ(out.protocol_version, expected.protocol_version);
+    }
+  }
+}
+
+TEST(PartialReadTest, PipelinedFramesWithRandomizedSplits) {
+  // A realistic buffer: hello + several ingest frames back to back, fed to
+  // the decoder in random-sized chunks; the decode loop (mirroring
+  // server.cc's) must recover every frame exactly once.
+  Rng value_rng(11);
+  std::vector<uint8_t> wire;
+  EncodeHelloFrame(kProtocolVersion, &wire);
+  constexpr size_t kFrames = 17;
+  std::vector<std::vector<double>> sent;
+  for (size_t f = 0; f < kFrames; ++f) {
+    std::vector<double> values(1 + f % 7);
+    for (double& v : values) v = value_rng.UniformDouble();
+    sent.push_back(values);
+    EncodeIngestFrame(f, values, &wire);
+  }
+
+  for (uint64_t seed = 0; seed < 25; ++seed) {
+    Rng split_rng(seed);
+    std::vector<uint8_t> buffer;
+    size_t fed = 0;
+    size_t decoded = 0;
+    bool saw_hello = false;
+    IngestRequest out;
+    while (decoded < kFrames || !saw_hello || fed < wire.size()) {
+      if (fed < wire.size()) {
+        const size_t chunk =
+            1 + static_cast<size_t>(split_rng.UniformDouble() * 97.0);
+        const size_t take = std::min(chunk, wire.size() - fed);
+        buffer.insert(buffer.end(), wire.begin() + static_cast<ptrdiff_t>(fed),
+                      wire.begin() + static_cast<ptrdiff_t>(fed + take));
+        fed += take;
+      }
+      size_t offset = 0;
+      size_t consumed = 0;
+      while (DecodeIngestFrame(
+                 std::span<const uint8_t>(buffer).subspan(offset), &out,
+                 &consumed) == FrameParseResult::kComplete) {
+        offset += consumed;
+        if (out.hello) {
+          EXPECT_FALSE(saw_hello);
+          saw_hello = true;
+        } else {
+          ASSERT_LT(decoded, kFrames);
+          EXPECT_EQ(out.stream, decoded);
+          EXPECT_EQ(out.values, sent[decoded]);
+          ++decoded;
+        }
+      }
+      buffer.erase(buffer.begin(),
+                   buffer.begin() + static_cast<ptrdiff_t>(offset));
+    }
+    EXPECT_EQ(decoded, kFrames) << "seed " << seed;
+    EXPECT_TRUE(buffer.empty()) << "seed " << seed;
+  }
+}
+
+// -------------------------------------------------------------------- HTTP
+
+TEST(PartialReadTest, HttpRequestByteAtATime) {
+  const std::string raw =
+      "POST /v1/streams?tail=5 HTTP/1.1\r\n"
+      "Host: localhost\r\n"
+      "Content-Length: 12\r\n"
+      "\r\n"
+      "{\"tenant\":1}";
+  HttpRequest out;
+  size_t consumed = 0;
+  for (size_t n = 0; n < raw.size(); ++n) {
+    ASSERT_EQ(ParseHttpRequest(std::string_view(raw).substr(0, n), &out,
+                               &consumed),
+              HttpParseResult::kNeedMore)
+        << "prefix of " << n << " bytes";
+  }
+  ASSERT_EQ(ParseHttpRequest(raw, &out, &consumed),
+            HttpParseResult::kComplete);
+  EXPECT_EQ(consumed, raw.size());
+  EXPECT_EQ(out.method, "POST");
+  EXPECT_EQ(out.path, "/v1/streams");
+  EXPECT_EQ(out.body, "{\"tenant\":1}");
+}
+
+TEST(PartialReadTest, HttpResponseByteAtATimeAndPipelined) {
+  const std::string first = RenderHttpResponse(200, "{\"stream\":3}");
+  const std::string second = RenderHttpResponse(409, "{\"error\":\"queued\"}");
+  const std::string raw = first + second;
+
+  HttpResponse out;
+  size_t consumed = 0;
+  for (size_t n = 0; n < first.size(); ++n) {
+    ASSERT_EQ(ParseHttpResponse(std::string_view(raw).substr(0, n), &out,
+                                &consumed),
+              HttpParseResult::kNeedMore)
+        << "prefix of " << n << " bytes";
+  }
+  ASSERT_EQ(ParseHttpResponse(raw, &out, &consumed),
+            HttpParseResult::kComplete);
+  EXPECT_EQ(consumed, first.size());  // the second response stays buffered
+  EXPECT_EQ(out.status, 200);
+  EXPECT_EQ(out.body, "{\"stream\":3}");
+  ASSERT_EQ(ParseHttpResponse(std::string_view(raw).substr(consumed), &out,
+                              &consumed),
+            HttpParseResult::kComplete);
+  EXPECT_EQ(out.status, 409);
+  EXPECT_EQ(out.body, "{\"error\":\"queued\"}");
+
+  // A response without Content-Length cannot be framed on a keep-alive
+  // connection: malformed, not a hang.
+  EXPECT_EQ(ParseHttpResponse("HTTP/1.1 200 OK\r\n\r\n", &out, &consumed),
+            HttpParseResult::kMalformed);
+  EXPECT_EQ(ParseHttpResponse("NOPE/1.1 200\r\n\r\n", &out, &consumed),
+            HttpParseResult::kMalformed);
+}
+
+TEST(PartialReadTest, HttpRequestRandomizedSplits) {
+  const std::string raw =
+      "PUT /v1/streams/7/checkpoint HTTP/1.1\r\n"
+      "Content-Type: application/octet-stream\r\n"
+      "Content-Length: 300\r\n"
+      "\r\n" +
+      std::string(300, '\x7f');
+  for (uint64_t seed = 100; seed < 120; ++seed) {
+    Rng split_rng(seed);
+    std::string buffer;
+    size_t fed = 0;
+    HttpRequest out;
+    size_t consumed = 0;
+    HttpParseResult parsed = HttpParseResult::kNeedMore;
+    while (fed < raw.size()) {
+      const size_t chunk =
+          1 + static_cast<size_t>(split_rng.UniformDouble() * 63.0);
+      const size_t take = std::min(chunk, raw.size() - fed);
+      buffer.append(raw, fed, take);
+      fed += take;
+      parsed = ParseHttpRequest(buffer, &out, &consumed);
+      if (fed < raw.size()) {
+        ASSERT_EQ(parsed, HttpParseResult::kNeedMore) << "seed " << seed;
+      }
+    }
+    ASSERT_EQ(parsed, HttpParseResult::kComplete) << "seed " << seed;
+    EXPECT_EQ(consumed, raw.size());
+    EXPECT_EQ(out.method, "PUT");
+    EXPECT_EQ(out.path, "/v1/streams/7/checkpoint");
+    EXPECT_EQ(out.body.size(), 300u);
+  }
+}
+
+}  // namespace
+}  // namespace egi::service

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "datasets/random_walk.h"
+#include "serialize/format.h"
 #include "stream/engine.h"
 #include "util/rng.h"
 
@@ -244,6 +245,71 @@ TEST(StreamEngineTest, PerStreamOptionsOverrideDefaults) {
   EXPECT_EQ(engine.detector(a).options().refit_interval,
             opt.detector.refit_interval);
   EXPECT_EQ(engine.detector(b).options().refit_interval, 10u);
+}
+
+// Per-stream save (the unit of shard migration) must be byte-identical to
+// the stream's section inside a whole-engine SaveAll blob — one format,
+// two granularities.
+TEST(StreamEngineTest, SaveStreamMatchesEngineBlobSection) {
+  StreamEngineOptions opt;
+  opt.detector = SmallOptions();
+  opt.parallelism = exec::Parallelism::Serial();
+  StreamEngine engine(opt);
+  const auto data = MakeStreams(3, 150);
+  for (size_t s = 0; s < data.size(); ++s) {
+    engine.AddStream();
+    engine.Ingest(s, data[s]);
+  }
+
+  const auto blob = engine.SaveAll();
+  for (size_t s = 0; s < data.size(); ++s) {
+    std::vector<uint8_t> section;
+    size_t count = 0;
+    ASSERT_TRUE(
+        serialize::ExtractEngineSection(blob, s, &section, &count).ok());
+    EXPECT_EQ(count, data.size());
+    auto standalone = engine.SaveStream(s);
+    ASSERT_TRUE(standalone.ok()) << standalone.status();
+    EXPECT_EQ(section, *standalone) << "stream " << s;
+  }
+  std::vector<uint8_t> section;
+  EXPECT_FALSE(serialize::ExtractEngineSection(blob, 99, &section).ok());
+  EXPECT_FALSE(engine.SaveStream(99).ok());
+}
+
+// A stream moved between engines via SaveStream/LoadStream continues
+// scoring bitwise-identically to one that never moved.
+TEST(StreamEngineTest, SaveLoadStreamContinuesBitwiseIdentically) {
+  StreamEngineOptions opt;
+  opt.detector = SmallOptions();
+  opt.parallelism = exec::Parallelism::Serial();
+  const auto data = MakeStreams(1, 300);
+  const std::span<const double> first(data[0].data(), 170);
+  const std::span<const double> rest(data[0].data() + 170, 130);
+
+  StreamEngine stayed(opt);
+  stayed.AddStream();
+  stayed.Ingest(0, first);
+
+  StreamEngine source(opt);
+  source.AddStream();
+  source.Ingest(0, first);
+  auto blob = source.SaveStream(0);
+  ASSERT_TRUE(blob.ok()) << blob.status();
+
+  StreamEngine target(opt);
+  target.AddStream();
+  ASSERT_TRUE(target.LoadStream(0, *blob).ok());
+  EXPECT_EQ(target.detector(0).total_appended(), first.size());
+
+  const auto expected = stayed.Ingest(0, rest);
+  const auto migrated = target.Ingest(0, rest);
+  ASSERT_EQ(expected.size(), migrated.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(expected[i].score, migrated[i].score) << "point " << i;
+    ASSERT_EQ(expected[i].refit, migrated[i].refit);
+  }
+  EXPECT_FALSE(target.LoadStream(7, *blob).ok());  // bounds-checked
 }
 
 }  // namespace

@@ -1,0 +1,165 @@
+// egid-router — the sharding front door for a fleet of egid daemons.
+//
+// Speaks the same two planes as egid itself (HTTP/1.1 JSON control plane,
+// length-prefixed binary frame ingest) and fans out to N backend shards by
+// jump-consistent-hash of the stream id over a versioned shard map
+// (src/router/). POST /v1/shards installs a new map at runtime and live-
+// migrates every stream whose owner changes via per-stream checkpoint
+// handoff — scores continue bitwise-identically across the move.
+//
+// Configuration is flags first, environment second (EGID_ROUTER_* twins):
+//
+//   egid_router --shards=127.0.0.1:8080:8081,127.0.0.1:8090:8091 \
+//               --http-port=7080 --ingest-port=7081 --probe-interval=1
+//
+// On startup prints one line to stdout:
+//   egid-router ready http=<port> ingest=<port> shards=<n>
+// which the smoke script and loadgen parse to find ephemeral ports.
+// SIGTERM/SIGINT drain: new frames get kDraining rejects, in-flight
+// forwards finish, exit 0. The router holds no durable state — shards own
+// their own checkpoints.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "router/router_core.h"
+#include "service/server.h"
+#include "util/env.h"
+
+namespace {
+
+egi::service::Server* g_server = nullptr;
+
+void HandleSignal(int) {
+  if (g_server != nullptr) g_server->RequestStop();  // one atomic store
+}
+
+// --name=value (or --name value) flag reader over argv, with an env twin.
+struct Flags {
+  int argc;
+  char** argv;
+
+  const char* Find(const char* name) const {
+    const size_t len = std::strlen(name);
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strncmp(arg, "--", 2) != 0) continue;
+      if (std::strncmp(arg + 2, name, len) != 0) continue;
+      if (arg[2 + len] == '=') return arg + 2 + len + 1;
+      if (arg[2 + len] == '\0' && i + 1 < argc) return argv[i + 1];
+    }
+    return nullptr;
+  }
+
+  int64_t Int(const char* name, const char* env, int64_t fallback) const {
+    if (const char* v = Find(name); v != nullptr) return std::atoll(v);
+    return egi::GetEnvInt(env, fallback);
+  }
+  double Double(const char* name, const char* env, double fallback) const {
+    if (const char* v = Find(name); v != nullptr) return std::atof(v);
+    return egi::GetEnvDouble(env, fallback);
+  }
+  std::string Str(const char* name, const char* env,
+                  const std::string& fallback) const {
+    if (const char* v = Find(name); v != nullptr) return v;
+    return egi::GetEnvString(env, fallback);
+  }
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: egid_router --shards=HOST:HTTP:INGEST[,...]\n"
+      "                   [--http-port=N] [--ingest-port=N] [--bind=ADDR]\n"
+      "                   [--channels-per-shard=N] [--acquire-timeout=SEC]\n"
+      "                   [--migrate-timeout=SEC] [--probe-interval=SEC]\n"
+      "                   [--probe-backoff-max=SEC] [--shard-timeout=SEC]\n"
+      "Every flag has an EGID_ROUTER_* environment twin\n"
+      "(EGID_ROUTER_SHARDS, EGID_ROUTER_HTTP_PORT, ...). Listener ports\n"
+      "default to 0 = ephemeral; --probe-interval=0 disables probing.\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      return Usage();
+    }
+  }
+  const Flags flags{argc, argv};
+
+  const std::string shard_spec =
+      flags.Str("shards", "EGID_ROUTER_SHARDS", "");
+  if (shard_spec.empty()) {
+    std::fprintf(stderr, "egid_router: --shards is required\n");
+    return Usage();
+  }
+  auto endpoints = egi::router::ParseEndpointList(shard_spec);
+  if (!endpoints.ok()) {
+    std::fprintf(stderr, "egid_router: %s\n",
+                 endpoints.status().ToString().c_str());
+    return 1;
+  }
+
+  egi::router::RouterOptions options;
+  options.shards = std::move(*endpoints);
+  options.channels_per_shard = static_cast<size_t>(
+      flags.Int("channels-per-shard", "EGID_ROUTER_CHANNELS_PER_SHARD", 4));
+  options.acquire_timeout_seconds =
+      flags.Double("acquire-timeout", "EGID_ROUTER_ACQUIRE_TIMEOUT", 2.0);
+  options.migrate_timeout_seconds =
+      flags.Double("migrate-timeout", "EGID_ROUTER_MIGRATE_TIMEOUT", 10.0);
+  options.probe_interval_seconds =
+      flags.Double("probe-interval", "EGID_ROUTER_PROBE_INTERVAL", 1.0);
+  options.probe_backoff_max_seconds =
+      flags.Double("probe-backoff-max", "EGID_ROUTER_PROBE_BACKOFF_MAX", 5.0);
+  options.factory = egi::router::TcpChannelFactory(
+      flags.Double("shard-timeout", "EGID_ROUTER_SHARD_TIMEOUT", 5.0));
+
+  auto router = egi::router::RouterCore::Create(std::move(options));
+  if (!router.ok()) {
+    std::fprintf(stderr, "egid_router: %s\n",
+                 router.status().ToString().c_str());
+    return 1;
+  }
+
+  egi::service::ServerOptions server_options;
+  server_options.bind_address =
+      flags.Str("bind", "EGID_ROUTER_BIND", "127.0.0.1");
+  server_options.http_port = static_cast<int>(
+      flags.Int("http-port", "EGID_ROUTER_HTTP_PORT", 0));
+  server_options.ingest_port = static_cast<int>(
+      flags.Int("ingest-port", "EGID_ROUTER_INGEST_PORT", 0));
+
+  egi::service::Server server(router->get(), server_options);
+  const egi::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "egid_router: %s\n", started.ToString().c_str());
+    return 1;
+  }
+
+  g_server = &server;
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGPIPE, SIG_IGN);  // peer resets surface as write errors
+
+  std::printf("egid-router ready http=%d ingest=%d shards=%zu\n",
+              server.http_port(), server.ingest_port(),
+              (*router)->num_shards());
+  std::fflush(stdout);
+
+  const egi::Status drained = server.Wait();
+  g_server = nullptr;
+  if (!drained.ok()) {
+    std::fprintf(stderr, "egid_router: %s\n", drained.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "egid_router: drained cleanly\n");
+  return 0;
+}

@@ -20,7 +20,12 @@ EGID_PID=""
 
 fail() {
   echo "FAIL: $*" >&2
-  [[ -s $LOG ]] && { echo "--- egid log ---" >&2; cat "$LOG" >&2; }
+  if [[ -s $LOG ]]; then
+    echo "--- egid log ($LOG) ---" >&2
+    cat "$LOG" >&2
+  else
+    echo "--- egid log is empty ---" >&2
+  fi
   [[ -n $EGID_PID ]] && kill -9 "$EGID_PID" 2>/dev/null
   rm -rf "$WORK"
   exit 1
@@ -36,17 +41,31 @@ start_egid() {
   EGID_PID=$!
   for _ in $(seq 100); do
     grep -q '^egid ready' "$LOG" 2>/dev/null && break
-    kill -0 "$EGID_PID" 2>/dev/null || fail "egid exited during startup"
+    kill -0 "$EGID_PID" 2>/dev/null \
+      || fail "egid (pid $EGID_PID) died during startup; its captured output follows"
     sleep 0.1
   done
-  grep -q '^egid ready' "$LOG" || fail "egid never printed its ready banner"
+  # Fail fast with the daemon's own stderr on a boot timeout — a generic
+  # downstream curl error would hide what the daemon was stuck on.
+  grep -q '^egid ready' "$LOG" \
+    || fail "egid (pid $EGID_PID) did not print its ready banner within 10s; its captured output follows"
   HTTP_PORT=$(sed -n 's/^egid ready http=\([0-9]*\).*/\1/p' "$LOG" | tail -1)
   INGEST_PORT=$(sed -n 's/.*ingest=\([0-9]*\).*/\1/p' "$LOG" | tail -1)
   [[ -n $HTTP_PORT && -n $INGEST_PORT ]] || fail "could not parse ports"
 }
 
 http() {  # http METHOD PATH -> body on stdout
-  curl -sS -X "$1" "http://127.0.0.1:$HTTP_PORT$2" || fail "curl $1 $2"
+  local body
+  if ! body=$(curl -sS -X "$1" "http://127.0.0.1:$HTTP_PORT$2"); then
+    # Distinguish "daemon died" (dump its output) from "daemon up but the
+    # request failed" so a crash does not surface as a generic curl error.
+    if kill -0 "$EGID_PID" 2>/dev/null; then
+      fail "curl $1 $2 failed but egid (pid $EGID_PID) is still running"
+    else
+      fail "egid (pid $EGID_PID) died before $1 $2; its captured output follows"
+    fi
+  fi
+  printf '%s\n' "$body"
 }
 
 start_egid
